@@ -1,0 +1,83 @@
+// Shared helpers for the benchmark harnesses: standard framework configs
+// and paper-reference printing.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/framework.hpp"
+#include "workload/fio.hpp"
+
+namespace dk::bench {
+
+/// The block sizes the paper's figures sweep.
+inline const std::vector<std::uint64_t> kBlockSizes = {
+    4 * KiB, 8 * KiB, 16 * KiB, 32 * KiB, 64 * KiB, 128 * KiB};
+
+inline std::string bs_name(std::uint64_t bs) {
+  return std::to_string(bs / KiB) + "k";
+}
+
+/// Build a framework config for a variant/pool combination with the
+/// testbed defaults (2 hosts x 16 OSDs, 10 GbE, straw2 placement).
+inline core::FrameworkConfig make_config(core::VariantKind variant,
+                                         core::PoolMode mode,
+                                         std::uint64_t image_bytes = 256 * MiB) {
+  core::FrameworkConfig cfg;
+  cfg.variant = variant;
+  cfg.pool_mode = mode;
+  cfg.image_size = image_bytes;
+  return cfg;
+}
+
+/// Run a fio spec on a fresh framework instance (own simulator).
+inline workload::FioResult run_fio(core::VariantKind variant,
+                                   core::PoolMode mode,
+                                   const workload::FioJobSpec& spec,
+                                   std::uint64_t image_bytes = 256 * MiB) {
+  sim::Simulator sim;
+  core::Framework fw(sim, make_config(variant, mode, image_bytes));
+  workload::FioEngine engine(fw);
+  return engine.run(spec);
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n=== " << title << " ===\n";
+  std::cout << "Paper reference: " << paper_ref << "\n\n";
+}
+
+/// Run the Fig-6/7/8/9-style sweep: block sizes x rw modes x variants,
+/// printing one table per rw mode. `kiops` selects KIOPS vs MB/s output.
+inline void run_figure_sweep(core::PoolMode pool,
+                             const std::vector<core::VariantKind>& variants,
+                             bool kiops) {
+  using workload::RwMode;
+  for (RwMode rw : {RwMode::seq_read, RwMode::seq_write, RwMode::rand_read,
+                    RwMode::rand_write}) {
+    std::vector<std::string> headers{std::string(workload::rw_name(rw)) +
+                                     (kiops ? " [KIOPS]" : " [MB/s]")};
+    for (auto bs : kBlockSizes) headers.push_back(bs_name(bs));
+    TextTable table(headers);
+    for (core::VariantKind v : variants) {
+      std::vector<std::string> row{std::string(core::variant_short_name(v))};
+      for (auto bs : kBlockSizes) {
+        workload::FioJobSpec spec;
+        spec.rw = rw;
+        spec.bs = bs;
+        spec.iodepth = 32;
+        spec.runtime = ms(300);
+        spec.ramp = ms(40);
+        spec.seed = 11;
+        auto r = run_fio(v, pool, spec, 128 * MiB);
+        row.push_back(TextTable::num(kiops ? r.iops() / 1000.0 : r.mbps(), 1));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+}
+
+}  // namespace dk::bench

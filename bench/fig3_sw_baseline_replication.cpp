@@ -1,0 +1,73 @@
+// Fig 3 reproduction: pure software baseline in replication mode — latency
+// (a) and throughput (b) of 4 kB and 128 kB I/Os, comparing the DeLiBA-K
+// software stack (io_uring + DMQ + kernel RBD) against the DeLiBA-2
+// software stack (NBD + librbd + read()/write()). No FPGA in either.
+//
+// Also prints the §III-C.1 testbed validation: iperf on the simulated
+// 10 GbE fabric (paper: 9.8 Gb/s raw).
+#include "bench_util.hpp"
+#include "net/network.hpp"
+
+namespace {
+
+using namespace dk;
+using core::PoolMode;
+using core::VariantKind;
+using workload::RwMode;
+
+void sw_baseline(PoolMode pool) {
+  constexpr RwMode kModes[] = {RwMode::seq_read, RwMode::seq_write,
+                               RwMode::rand_read, RwMode::rand_write};
+  for (std::uint64_t bs : {4 * KiB, 128 * KiB}) {
+    TextTable lat({"Latency @" + bench::bs_name(bs) + " [us]", "seq-read",
+                   "seq-write", "rand-read", "rand-write"});
+    TextTable tput({"Throughput @" + bench::bs_name(bs) + " [MB/s]",
+                    "seq-read", "seq-write", "rand-read", "rand-write"});
+    for (VariantKind v : {VariantKind::sw_ceph_d2, VariantKind::sw_delibak}) {
+      std::vector<std::string> lrow{std::string(core::variant_name(v))};
+      std::vector<std::string> trow{std::string(core::variant_name(v))};
+      for (RwMode mode : kModes) {
+        sim::Simulator sim;
+        core::Framework fw(sim, bench::make_config(v, pool, 64 * MiB));
+        lrow.push_back(
+            TextTable::num(to_us(workload::probe_latency(fw, mode, bs, 50)), 1));
+        workload::FioJobSpec spec;
+        spec.rw = mode;
+        spec.bs = bs;
+        spec.iodepth = 32;
+        spec.runtime = ms(300);
+        spec.ramp = ms(40);
+        trow.push_back(
+            TextTable::num(bench::run_fio(v, pool, spec, 128 * MiB).mbps(), 1));
+      }
+      lat.add_row(std::move(lrow));
+      tput.add_row(std::move(trow));
+    }
+    lat.print(std::cout);
+    std::cout << "\n";
+    tput.print(std::cout);
+    std::cout << "\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace dk;
+
+  // Testbed validation (paper §III-C.1): iperf between client and server.
+  {
+    sim::Simulator sim;
+    net::Network net(sim);
+    const double gbps = net::run_iperf(net, 0, 0, ms(200));
+    std::cout << "iperf validation on simulated 10 GbE (jumbo frames): "
+              << TextTable::num(gbps, 2) << " Gb/s (paper: 9.8 Gb/s)\n";
+  }
+
+  bench::print_header(
+      "Fig 3: Pure software baseline, replication mode",
+      "text: rand-read 4k latency 130 -> 85 us; rand-write 98 -> 80 us "
+      "(D2-SW -> D3-SW)");
+  sw_baseline(core::PoolMode::replicated);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Fig 4 reproduction: pure software baseline in erasure-coding mode (k=4,
+// m=2) — latency (a) and throughput (b) of 4 kB and 128 kB I/Os, DeLiBA-K
+// software stack vs DeLiBA-2 software stack.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace dk;
+using core::PoolMode;
+using core::VariantKind;
+using workload::RwMode;
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fig 4: Pure software baseline, erasure-coding mode (k=4, m=2)",
+      "text: EC rand-write 4k throughput x2.88, rand-read 4k x2.4 "
+      "(D3-SW over D2-SW)");
+
+  constexpr RwMode kModes[] = {RwMode::seq_read, RwMode::seq_write,
+                               RwMode::rand_read, RwMode::rand_write};
+  for (std::uint64_t bs : {4 * KiB, 128 * KiB}) {
+    TextTable lat({"Latency @" + bench::bs_name(bs) + " [us]", "seq-read",
+                   "seq-write", "rand-read", "rand-write"});
+    TextTable tput({"Throughput @" + bench::bs_name(bs) + " [MB/s]",
+                    "seq-read", "seq-write", "rand-read", "rand-write"});
+    for (VariantKind v : {VariantKind::sw_ceph_d2, VariantKind::sw_delibak}) {
+      std::vector<std::string> lrow{std::string(core::variant_name(v))};
+      std::vector<std::string> trow{std::string(core::variant_name(v))};
+      for (RwMode mode : kModes) {
+        sim::Simulator sim;
+        core::Framework fw(
+            sim, bench::make_config(v, PoolMode::erasure, 64 * MiB));
+        lrow.push_back(TextTable::num(
+            to_us(workload::probe_latency(fw, mode, bs, 50)), 1));
+        workload::FioJobSpec spec;
+        spec.rw = mode;
+        spec.bs = bs;
+        spec.iodepth = 32;
+        spec.runtime = ms(300);
+        spec.ramp = ms(40);
+        trow.push_back(TextTable::num(
+            bench::run_fio(v, PoolMode::erasure, spec, 128 * MiB).mbps(), 1));
+      }
+      lat.add_row(std::move(lrow));
+      tput.add_row(std::move(trow));
+    }
+    lat.print(std::cout);
+    std::cout << "\n";
+    tput.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

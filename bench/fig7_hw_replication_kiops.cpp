@@ -1,0 +1,16 @@
+// Fig 7 reproduction: hardware-accelerated KIOPS in replication mode,
+// D1/D2/D3 across block sizes (same runs as Fig 6, IOPS view).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dk;
+  bench::print_header(
+      "Fig 7: Replication mode, hardware-accelerated KIOPS",
+      "headline: up to 3.2x IOPS improvement of D3 over D2 at small blocks");
+  bench::run_figure_sweep(core::PoolMode::replicated,
+                          {core::VariantKind::deliba1,
+                           core::VariantKind::deliba2,
+                           core::VariantKind::delibak},
+                          /*kiops=*/true);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Fig 8 reproduction: hardware-accelerated throughput in erasure-coding
+// mode — DeLiBA-K (D3) vs DeLiBA-2 (D2) only (DeLiBA-1 had no EC kernels).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dk;
+  bench::print_header(
+      "Fig 8: Erasure Coding (k=4, m=2) mode, hardware throughput [MB/s]",
+      "D3 vs D2 only; D1 shipped no erasure-coding accelerators");
+  bench::run_figure_sweep(core::PoolMode::erasure,
+                          {core::VariantKind::deliba2,
+                           core::VariantKind::delibak},
+                          /*kiops=*/false);
+  return 0;
+}

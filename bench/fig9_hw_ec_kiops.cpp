@@ -1,0 +1,15 @@
+// Fig 9 reproduction: hardware-accelerated KIOPS in erasure-coding mode,
+// DeLiBA-K (D3) vs DeLiBA-2 (D2).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dk;
+  bench::print_header("Fig 9: Erasure Coding (k=4, m=2) mode, KIOPS",
+                      "D3 vs D2 only (no D1 EC support); EC rand-write 4k "
+                      "gains mirror the replication-mode IOPS gains");
+  bench::run_figure_sweep(core::PoolMode::erasure,
+                          {core::VariantKind::deliba2,
+                           core::VariantKind::delibak},
+                          /*kiops=*/true);
+  return 0;
+}

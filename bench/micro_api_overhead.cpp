@@ -1,0 +1,81 @@
+// §II reproduction: host-API overhead decomposition. Prints the modeled
+// per-I/O submission-path cost of each framework's API composition for
+// 4 kB and 128 kB writes — the quantities Section II argues make the
+// decades-old APIs the bottleneck (syscalls, context switches, copies)
+// and that io_uring + DMQ + UIFD remove.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "host/io_apis.hpp"
+
+int main() {
+  using namespace dk;
+  using core::VariantKind;
+
+  bench::print_header(
+      "Host API overhead decomposition (submission path, per I/O)",
+      "§II: traditional read()/write() vs AIO vs io_uring; "
+      "D1 pays 6 context switches/copies, D2 pays 5, DeLiBA-K zero");
+
+  TextTable t({"Framework", "API", "switches", "copies",
+               "submit 4k [us]", "submit 128k [us]", "complete 4k [us]",
+               "occupancy extra [us]"});
+  sim::Simulator sim;
+  for (VariantKind v :
+       {VariantKind::sw_ceph_d2, VariantKind::sw_delibak, VariantKind::deliba1,
+        VariantKind::deliba2, VariantKind::delibak}) {
+    core::Framework fw(sim, bench::make_config(v, core::PoolMode::replicated,
+                                               32 * MiB));
+    const auto traits = fw.traits();
+    t.add_row({std::string(core::variant_name(v)),
+               traits.uses_uring ? "io_uring (kernel-polled)"
+                                 : "read()/write() + NBD",
+               std::to_string(traits.context_switches),
+               std::to_string(traits.memory_copies),
+               TextTable::num(to_us(fw.host_submit_cost(true, 4 * KiB)), 1),
+               TextTable::num(to_us(fw.host_submit_cost(true, 128 * KiB)), 1),
+               TextTable::num(to_us(fw.host_complete_cost(true, 4 * KiB)), 1),
+               TextTable::num(to_us(fw.host_occupancy_extra(4 * KiB)), 1)});
+  }
+  t.print(std::cout);
+  std::cout << "\nThe 128k column shows why copy elimination matters: the "
+               "5-6 copy legacy paths pay ~70 us per copy set at 128 kB "
+               "while the ring-based path is size-independent.\n\n";
+
+  // --- §II Fig 1: the four traditional access methods over one device ----
+  std::cout << "-- Traditional access methods (same 25 us backing device, "
+               "4 kB ops) --\n";
+  TextTable apis({"API", "cold [us]", "warm [us]", "syscalls/op", "notes"});
+  {
+    host::MemoryBackingDevice dev(1024 * host::IoApis::kPageBytes, us(25));
+    host::IoApis io(dev, 64);
+    std::vector<std::uint8_t> buf(host::IoApis::kPageBytes);
+    const Nanos cold = io.read(0, buf);
+    const Nanos warm = io.read(0, buf);
+    apis.add_row({"buffered read()", TextTable::num(to_us(cold), 1),
+                  TextTable::num(to_us(warm), 1), "1",
+                  "copy per call; cache absorbs re-reads"});
+    const Nanos mcold = io.mmap_access(8 * host::IoApis::kPageBytes, buf, false);
+    const Nanos mwarm = io.mmap_access(8 * host::IoApis::kPageBytes, buf, false);
+    apis.add_row({"mmap", TextTable::num(to_us(mcold), 1),
+                  TextTable::num(to_us(mwarm), 1), "0",
+                  "fault per cold page; no explicit control"});
+    const Nanos d = *io.direct_read(16 * host::IoApis::kPageBytes, buf);
+    apis.add_row({"O_DIRECT read", TextTable::num(to_us(d), 1),
+                  TextTable::num(to_us(d), 1), "1",
+                  "always pays the device; no cache"});
+    const Nanos a_direct =
+        io.aio_submit(true, false, 24 * host::IoApis::kPageBytes, buf);
+    const Nanos a_buffered =
+        io.aio_submit(false, false, 32 * host::IoApis::kPageBytes, buf);
+    apis.add_row({"libaio + O_DIRECT", TextTable::num(to_us(a_direct), 1),
+                  TextTable::num(to_us(a_direct), 1), "1",
+                  "truly async (device time off-thread)"});
+    apis.add_row({"libaio buffered", TextTable::num(to_us(a_buffered), 1),
+                  "-", "1", "degrades to synchronous (the §II critique)"});
+  }
+  apis.print(std::cout);
+  std::cout << "\nio_uring (above) gets async submission WITHOUT O_DIRECT's "
+               "alignment constraints and without per-op syscalls.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Host-side microbenchmark (real CPU time, google-benchmark): CRUSH bucket
+// selection throughput per algorithm and full rule execution — the software
+// cost that Table I profiles and the FPGA kernels eliminate.
+#include <benchmark/benchmark.h>
+
+#include "crush/builder.hpp"
+#include "crush/hash.hpp"
+
+namespace {
+
+using namespace dk::crush;
+
+void BM_Hash32_3(benchmark::State& state) {
+  std::uint32_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash32_3(x++, 7, 3));
+  }
+}
+BENCHMARK(BM_Hash32_3);
+
+void BM_BucketChoose(benchmark::State& state, BucketAlg alg) {
+  Bucket bucket(-1, kTypeHost, alg);
+  const int items = static_cast<int>(state.range(0));
+  for (int i = 0; i < items; ++i)
+    (void)bucket.add_item(i, kWeightOne);
+  std::uint32_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bucket.choose(x++, 0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_BucketChoose, uniform, BucketAlg::uniform)->Arg(16)->Arg(128);
+BENCHMARK_CAPTURE(BM_BucketChoose, list, BucketAlg::list)->Arg(16)->Arg(128);
+BENCHMARK_CAPTURE(BM_BucketChoose, tree, BucketAlg::tree)->Arg(16)->Arg(128);
+BENCHMARK_CAPTURE(BM_BucketChoose, straw, BucketAlg::straw)->Arg(16)->Arg(128);
+BENCHMARK_CAPTURE(BM_BucketChoose, straw2, BucketAlg::straw2)->Arg(16)->Arg(128);
+
+void BM_DoRuleReplicated(benchmark::State& state) {
+  auto layout = build_cluster({});
+  std::uint32_t pg = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layout.map.do_rule(layout.replicated_rule, pg++, 2));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DoRuleReplicated);
+
+void BM_DoRuleEc(benchmark::State& state) {
+  auto layout = build_cluster({});
+  std::uint32_t pg = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layout.map.do_rule(layout.ec_rule, pg++, 6));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DoRuleEc);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Real-world workload reproduction (§I, §V): OLAP (full table scan + bulk
+// load) and OLTP (transactional mix) on the software baseline, DeLiBA-2,
+// and DeLiBA-K. The paper reports ~30% execution-time reduction for
+// data-intensive tasks on DeLiBA-K.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "workload/apps.hpp"
+
+int main() {
+  using namespace dk;
+  using core::VariantKind;
+
+  bench::print_header(
+      "Real-world workloads: OLAP and OLTP",
+      "paper: ~30% execution-time reduction for data-intensive tasks "
+      "(DeLiBA-K vs predecessor stack)");
+
+  const std::vector<VariantKind> variants = {
+      VariantKind::sw_ceph_d2, VariantKind::deliba2, VariantKind::delibak};
+
+  // --- OLAP ---------------------------------------------------------------
+  TextTable olap({"OLAP (64 MiB table)", "bulk load [ms]", "scan [ms]",
+                  "total [ms]", "scan MB/s", "vs D2 total"});
+  double d2_total = 0;
+  for (VariantKind v : variants) {
+    sim::Simulator sim;
+    auto cfg = bench::make_config(v, core::PoolMode::replicated, 128 * MiB);
+    core::Framework fw(sim, cfg);
+    workload::OlapSpec spec;
+    spec.table_bytes = 64 * MiB;
+    auto r = workload::run_olap(fw, spec);
+    const double total_ms = to_ms(r.total());
+    if (v == VariantKind::deliba2) d2_total = total_ms;
+    std::string delta = "-";
+    if (v == VariantKind::delibak && d2_total > 0) {
+      delta = "-" + TextTable::num((1.0 - total_ms / d2_total) * 100, 1) + " %";
+    }
+    olap.add_row({std::string(core::variant_name(v)),
+                  TextTable::num(to_ms(r.load_time), 1),
+                  TextTable::num(to_ms(r.scan_time), 1),
+                  TextTable::num(total_ms, 1),
+                  TextTable::num(r.scan_mbps, 0), delta});
+  }
+  olap.print(std::cout);
+
+  // --- OLTP ----------------------------------------------------------------
+  std::cout << "\n";
+  TextTable oltp({"OLTP (1000 txns, 4 clients)", "elapsed [ms]", "TPS",
+                  "txn p50 [us]", "txn p99 [us]", "vs D2 elapsed"});
+  double d2_elapsed = 0;
+  for (VariantKind v : variants) {
+    sim::Simulator sim;
+    auto cfg = bench::make_config(v, core::PoolMode::replicated, 64 * MiB);
+    core::Framework fw(sim, cfg);
+    workload::OltpSpec spec;
+    spec.transactions = 1000;
+    spec.clients = 4;
+    auto r = workload::run_oltp(fw, spec);
+    const double elapsed_ms = to_ms(r.elapsed);
+    if (v == VariantKind::deliba2) d2_elapsed = elapsed_ms;
+    std::string delta = "-";
+    if (v == VariantKind::delibak && d2_elapsed > 0) {
+      delta =
+          "-" + TextTable::num((1.0 - elapsed_ms / d2_elapsed) * 100, 1) + " %";
+    }
+    oltp.add_row({std::string(core::variant_name(v)),
+                  TextTable::num(elapsed_ms, 1), TextTable::num(r.tps(), 0),
+                  TextTable::num(to_us(r.txn_latency.p50()), 0),
+                  TextTable::num(to_us(r.txn_latency.p99()), 0), delta});
+  }
+  oltp.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Table I reproduction: per-kernel profile of the six accelerated kernels —
+// software execution time, RTL cycle counts, RTL latency at the 235 MHz
+// fabric clock, end-to-end hardware execution (through the QDMA model), and
+// the paper's SLOC counts for the C and Verilog implementations.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "fpga/device.hpp"
+
+int main() {
+  using namespace dk;
+  using fpga::KernelKind;
+
+  bench::print_header(
+      "Table I: Replication and EC kernels — SW profile vs RTL vs on-FPGA",
+      "columns mirror the paper's Table I; 'model' columns are produced by "
+      "this reproduction, 'paper' columns quote the publication");
+
+  TextTable t({"Kernel", "SW exec [us] (paper)", "contrib",
+               "RTL cycles (paper)", "RTL latency [us] (model @235MHz)",
+               "HW e2e [us] (model)", "HW e2e [us] (paper)", "SLOC C",
+               "SLOC Verilog"});
+
+  sim::Simulator sim;
+  fpga::FpgaDevice dev(sim);
+  // Make every kernel measurable: load each RM in turn for its measurement.
+  for (KernelKind kind : fpga::kAllKernels) {
+    const auto& spec = fpga::kernel_spec(kind);
+    if (spec.reconfigurable) {
+      bool done = false;
+      auto s = dev.dfx().load_rm(kind, [&] { done = true; });
+      if (s.ok()) sim.run();
+    }
+
+    // End-to-end hardware execution: doorbell + descriptor + PCIe query DMA
+    // to the card, kernel execution, completion DMA back — the offload
+    // round trip the UIFD driver performs per placement/encode query.
+    const Nanos kernel_lat = fpga::cycles_to_time(spec.rtl_cycles_max);
+    const Nanos hw_e2e =
+        dev.qdma().idle_latency(64) + kernel_lat + dev.qdma().idle_latency(64);
+
+    char cyc[32];
+    std::snprintf(cyc, sizeof(cyc), "%u-%u", spec.rtl_cycles_min,
+                  spec.rtl_cycles_max);
+    t.add_row({std::string(fpga::kernel_name(kind)),
+               TextTable::num(to_us(spec.sw_exec_time), 0),
+               TextTable::num(spec.runtime_contribution * 100, 0) + " %",
+               cyc,
+               TextTable::num(to_us(kernel_lat), 3),
+               TextTable::num(to_us(hw_e2e), 1),
+               TextTable::num(to_us(spec.hw_exec_time), 0),
+               std::to_string(spec.sloc_c),
+               std::to_string(spec.sloc_verilog)});
+  }
+  t.print(std::cout);
+
+  std::cout
+      << "\nNote: the paper's 'HW Execution on FPGA' column includes the "
+         "authors' full driver invocation path on their testbed (19-85 us); "
+         "our model charges doorbell + PCIe DMA + kernel only (~3-4 us). "
+         "The RTL-vs-SW gap (the quantity the offload exploits) matches: "
+         "every kernel's RTL latency is 2-3 orders of magnitude below its "
+         "software execution time.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Table II reproduction: 4 kB end-to-end I/O request latency for the
+// hardware frameworks — D1/D2/D3 in replication mode, D2/D3 in erasure
+// coding mode (DeLiBA-1 shipped no EC accelerators) — across seq/rand x
+// read/write, measured at queue depth 1 like the paper.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace dk;
+using core::PoolMode;
+using core::VariantKind;
+using workload::RwMode;
+
+constexpr RwMode kModes[] = {RwMode::seq_read, RwMode::seq_write,
+                             RwMode::rand_read, RwMode::rand_write};
+
+void run_block(PoolMode pool, const std::vector<VariantKind>& variants,
+               const char* title,
+               const std::vector<std::vector<int>>& paper_us) {
+  TextTable table({"Framework (4 kB)", "seq-read [us]", "seq-write [us]",
+                   "rand-read [us]", "rand-write [us]"});
+  TextTable paper({"Paper reference", "seq-read [us]", "seq-write [us]",
+                   "rand-read [us]", "rand-write [us]"});
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    std::vector<std::string> row{
+        std::string(core::variant_name(variants[v]))};
+    std::vector<std::string> prow{
+        std::string(core::variant_name(variants[v]))};
+    for (std::size_t m = 0; m < 4; ++m) {
+      sim::Simulator sim;
+      core::Framework fw(sim, bench::make_config(variants[v], pool, 64 * MiB));
+      // Prefill a region so reads return real data.
+      const Nanos lat = workload::probe_latency(fw, kModes[m], 4096, 60);
+      row.push_back(TextTable::num(to_us(lat), 1));
+      prow.push_back(std::to_string(paper_us[v][m]));
+    }
+    table.add_row(std::move(row));
+    paper.add_row(std::move(prow));
+  }
+  std::cout << title << "\n";
+  table.print(std::cout);
+  std::cout << "\n";
+  paper.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  dk::bench::print_header(
+      "Table II: I/O request latency, hardware frameworks, 4 kB, qd=1",
+      "Khan & Koch, DeLiBA-K (SC'24), Table II");
+
+  run_block(PoolMode::replicated,
+            {VariantKind::deliba1, VariantKind::deliba2, VariantKind::delibak},
+            "-- Hardware (Replication) --",
+            {{65, 95, 130, 98}, {55, 75, 85, 82}, {40, 52, 64, 68}});
+
+  run_block(PoolMode::erasure,
+            {VariantKind::deliba2, VariantKind::delibak},
+            "-- Hardware (Erasure Coding) --",
+            {{48, 70, 82, 75}, {38, 47, 59, 60}});
+
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Table III reproduction: place-and-route resource utilization of the
+// DeLiBA-K FPGA stack on the Alveo U280 — static-region kernels relative to
+// the whole chip, the three DFX reconfigurable modules relative to SLR0 —
+// plus the pr_verify report and the two measured power scenarios.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "fpga/device.hpp"
+
+int main() {
+  using namespace dk;
+  using fpga::KernelKind;
+
+  bench::print_header(
+      "Table III: U280 resource utilization + power",
+      "static kernels vs whole chip; RMs vs SLR0; power 195 W (no PR) / "
+      "170 W (with PR)");
+
+  const fpga::Resources chip = fpga::U280::chip();
+  TextTable stat({"Static kernel (+TCP/IP+CMAC+QDMA)", "LUTs", "LUT %",
+                  "Registers", "Reg %", "BRAM", "BRAM %", "URAM", "URAM %",
+                  "DSP"});
+  for (KernelKind kind :
+       {KernelKind::straw, KernelKind::straw2, KernelKind::rs_encoder}) {
+    const auto& spec = fpga::kernel_spec(kind);
+    const auto u = fpga::utilization(spec.footprint, chip);
+    stat.add_row({std::string(fpga::kernel_name(kind)),
+                  std::to_string(spec.footprint.luts),
+                  TextTable::num(u.luts, 2) + " %",
+                  std::to_string(spec.footprint.registers),
+                  TextTable::num(u.registers, 2) + " %",
+                  std::to_string(spec.footprint.bram),
+                  TextTable::num(u.bram, 2) + " %",
+                  std::to_string(spec.footprint.uram),
+                  TextTable::num(u.uram, 2) + " %",
+                  std::to_string(spec.footprint.dsp)});
+  }
+  stat.print(std::cout);
+
+  std::cout << "\n";
+  const fpga::Resources slr0 = fpga::U280::slr(0);
+  TextTable rm({"Reconfigurable Module (SLR0 RP)", "LUTs", "LUT %",
+                "Registers", "Reg %", "BRAM", "BRAM %", "URAM", "URAM %",
+                "DSP"});
+  for (KernelKind kind :
+       {KernelKind::list, KernelKind::tree, KernelKind::uniform}) {
+    const auto& spec = fpga::kernel_spec(kind);
+    const auto u = fpga::utilization(spec.footprint, slr0);
+    rm.add_row({std::string(fpga::kernel_name(kind)),
+                std::to_string(spec.footprint.luts),
+                TextTable::num(u.luts, 2) + " %",
+                std::to_string(spec.footprint.registers),
+                TextTable::num(u.registers, 2) + " %",
+                std::to_string(spec.footprint.bram),
+                TextTable::num(u.bram, 2) + " %",
+                std::to_string(spec.footprint.uram),
+                TextTable::num(u.uram, 2) + " %",
+                std::to_string(spec.footprint.dsp)});
+  }
+  rm.print(std::cout);
+
+  // pr_verify (DFX Configuration Analysis).
+  sim::Simulator sim;
+  fpga::FpgaDevice dev(sim);
+  std::cout << "\npr_verify (DFX configuration analysis):\n";
+  for (const auto& e : dev.dfx().pr_verify()) {
+    std::cout << "  " << fpga::kernel_name(e.kernel) << ": "
+              << (e.fits_rp ? "OK" : "DOES NOT FIT") << " ("
+              << TextTable::num(e.rp_utilization.luts, 1) << "% of RP LUTs)\n";
+  }
+
+  // Power scenarios.
+  const auto& power = dev.power();
+  std::cout << "\nPower (model | paper):\n";
+  std::cout << "  full load, no partial reconfiguration:   "
+            << TextTable::num(power.full_load_no_pr(), 1) << " W | 195 W\n";
+  std::cout << "  full load, with partial reconfiguration: "
+            << TextTable::num(power.full_load_with_pr(), 1) << " W | 170 W\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Multi-tenancy example (§III-B): SR-IOV passthrough on the QDMA engine.
+// Two tenants (VMs) get their own UIFD driver instances bound to distinct
+// PCIe Virtual Functions; each VF owns isolated QDMA queue sets on the ONE
+// shared FPGA card, and their I/O streams share the PCIe link fairly.
+//
+//   $ ./multi_tenant
+#include <iostream>
+
+#include "blk/mq.hpp"
+#include "fpga/device.hpp"
+#include "host/uifd.hpp"
+
+int main() {
+  using namespace dk;
+  sim::Simulator sim;
+  fpga::FpgaDevice card(sim);
+
+  std::cout << "One Alveo U280, two tenants via SR-IOV virtual functions.\n\n";
+
+  // Tenant A: replication traffic on VF 1. Tenant B: EC traffic on VF 2.
+  auto service = [&sim](const blk::Request& r,
+                        std::function<void(std::int32_t)> done) {
+    // Stand-in for the storage backend: fixed 30 us remote service.
+    sim.schedule_after(us(30), [&r, done = std::move(done)] {
+      done(static_cast<std::int32_t>(r.len));
+    });
+  };
+
+  host::UifdDriver tenant_a(
+      card, {.nr_hw_queues = 3, .queue_class = fpga::QueueClass::replication,
+             .virtual_function = 1},
+      service);
+  host::UifdDriver tenant_b(
+      card, {.nr_hw_queues = 3,
+             .queue_class = fpga::QueueClass::erasure_coding,
+             .virtual_function = 2},
+      service);
+
+  std::cout << "QDMA queue sets: " << card.qdma().queue_set_count()
+            << " total; VF1 owns " << card.qdma().queue_sets_of_vf(1).size()
+            << ", VF2 owns " << card.qdma().queue_sets_of_vf(2).size()
+            << " (isolated)\n";
+
+  // Each tenant pushes 64 x 64 kB writes; both share the PCIe Gen3 x16 link.
+  unsigned done_a = 0, done_b = 0;
+  Nanos last_a = 0, last_b = 0;
+  for (int i = 0; i < 64; ++i) {
+    blk::Request ra;
+    ra.op = blk::ReqOp::write;
+    ra.len = 64 * 1024;
+    ra.offset = static_cast<std::uint64_t>(i) * 64 * 1024;
+    ra.hw_queue = static_cast<unsigned>(i % 3);
+    ra.complete = [&](std::int32_t) {
+      ++done_a;
+      last_a = sim.now();
+    };
+    tenant_a.queue_rq(std::move(ra));
+
+    blk::Request rb = {};
+    rb.op = blk::ReqOp::write;
+    rb.len = 64 * 1024;
+    rb.offset = static_cast<std::uint64_t>(i) * 64 * 1024;
+    rb.hw_queue = static_cast<unsigned>(i % 3);
+    rb.complete = [&](std::int32_t) {
+      ++done_b;
+      last_b = sim.now();
+    };
+    tenant_b.queue_rq(std::move(rb));
+  }
+  sim.run();
+
+  std::cout << "Tenant A (replication, VF1): " << done_a
+            << " writes done, last at " << to_us(last_a) << " us, "
+            << tenant_a.stats().h2c_bytes / 1024 << " KiB DMAed\n";
+  std::cout << "Tenant B (EC, VF2):          " << done_b
+            << " writes done, last at " << to_us(last_b) << " us, "
+            << tenant_b.stats().h2c_bytes / 1024 << " KiB DMAed\n";
+  std::cout << "\nInterleaved completion times show the shared PCIe link "
+               "serving both VFs; queue-set ownership keeps their descriptor "
+               "state fully isolated.\n";
+  return (done_a == 64 && done_b == 64) ? 0 : 1;
+}

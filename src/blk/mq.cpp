@@ -1,0 +1,144 @@
+#include "blk/mq.hpp"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+namespace dk::blk {
+
+MqBlockLayer::MqBlockLayer(MqConfig config, Driver& driver)
+    : config_(config), driver_(driver) {
+  assert(config_.nr_hw_queues >= 1 && config_.queue_depth >= 1);
+  pending_.resize(config_.nr_hw_queues);
+  free_tags_.assign(config_.nr_hw_queues, config_.queue_depth);
+}
+
+Status MqBlockLayer::submit(unsigned cpu, Request request) {
+  if (request.len == 0 && request.op != ReqOp::flush)
+    return Status::Error(Errc::invalid_argument, "zero-length bio");
+  const unsigned hwq = hw_queue_of_cpu(cpu);
+  request.hw_queue = hwq;
+  ++stats_.submitted;
+
+  // Split to the device transfer limit. All fragments share one completion
+  // that fires once, with the total byte count, after the last fragment.
+  if (request.len > config_.max_io_bytes) {
+    struct SplitState {
+      unsigned remaining;
+      std::int32_t first_error = 0;
+      std::uint64_t total = 0;
+      std::function<void(std::int32_t)> complete;
+    };
+    const unsigned nfrag =
+        (request.len + config_.max_io_bytes - 1) / config_.max_io_bytes;
+    auto state = std::make_shared<SplitState>();
+    state->remaining = nfrag;
+    state->complete = std::move(request.complete);
+    stats_.splits += nfrag - 1;
+    // The original bio was already counted; fragments re-enter submit()
+    // individually so merging/tagging treats them uniformly.
+    stats_.submitted -= 1;
+
+    std::uint64_t off = request.offset;
+    std::uint32_t left = request.len;
+    while (left > 0) {
+      const std::uint32_t chunk = left < config_.max_io_bytes
+                                      ? left
+                                      : config_.max_io_bytes;
+      Request frag = request;
+      frag.offset = off;
+      frag.len = chunk;
+      frag.addr = request.addr + (off - request.offset);
+      frag.complete = [state, chunk](std::int32_t res) {
+        if (res < 0 && state->first_error == 0) state->first_error = res;
+        if (res >= 0) state->total += chunk;
+        if (--state->remaining == 0) {
+          state->complete(state->first_error != 0
+                              ? state->first_error
+                              : static_cast<std::int32_t>(state->total));
+        }
+      };
+      const Status s = submit(cpu, std::move(frag));
+      if (!s.ok()) return s;  // only possible for invalid fragments
+      off += chunk;
+      left -= chunk;
+    }
+    return Status::Ok();
+  }
+
+  if (config_.bypass_scheduler) {
+    ++stats_.sched_bypass;
+    pending_[hwq].push_back(std::move(request));
+    dispatch(hwq);
+    return Status::Ok();
+  }
+
+  // Elevator path: try to merge into a queued request first.
+  if (config_.merge && try_merge(hwq, request)) {
+    ++stats_.merges;
+    return Status::Ok();
+  }
+  pending_[hwq].push_back(std::move(request));
+  dispatch(hwq);
+  return Status::Ok();
+}
+
+bool MqBlockLayer::try_merge(unsigned hwq, Request& request) {
+  // Back-merge only (the common sequential-I/O case): the new bio starts
+  // exactly where a queued request of the same op ends, and the combined
+  // size respects the device limit.
+  for (auto& queued : pending_[hwq]) {
+    if (queued.op != request.op) continue;
+    if (queued.offset + queued.len != request.offset) continue;
+    if (queued.len + request.len > config_.max_io_bytes) continue;
+    // Chain completions: each original bio is acked with its own length.
+    auto prev = std::move(queued.complete);
+    auto mine = std::move(request.complete);
+    const std::uint32_t prev_len = queued.len;
+    const std::uint32_t my_len = request.len;
+    queued.complete = [prev = std::move(prev), mine = std::move(mine),
+                       prev_len, my_len](std::int32_t res) {
+      if (res < 0) {
+        prev(res);
+        mine(res);
+      } else {
+        prev(static_cast<std::int32_t>(prev_len));
+        mine(static_cast<std::int32_t>(my_len));
+      }
+    };
+    queued.len += request.len;
+    return true;
+  }
+  return false;
+}
+
+void MqBlockLayer::dispatch(unsigned hwq) {
+  auto& queue = pending_[hwq];
+  while (!queue.empty()) {
+    if (free_tags_[hwq] == 0) {
+      ++stats_.tag_waits;
+      return;  // tags exhausted; run_queues() after completions
+    }
+    Request req = std::move(queue.front());
+    queue.pop_front();
+    --free_tags_[hwq];
+    req.tag = config_.queue_depth - free_tags_[hwq] - 1;
+    ++stats_.dispatched;
+
+    // Wrap completion to release the tag and re-pump this queue.
+    auto inner = std::move(req.complete);
+    req.complete = [this, hwq, inner = std::move(inner)](std::int32_t res) {
+      ++free_tags_[hwq];
+      ++stats_.completed;
+      if (inner) inner(res);
+      dispatch(hwq);
+    };
+    driver_.queue_rq(std::move(req));
+  }
+}
+
+void MqBlockLayer::run_queues() {
+  for (unsigned q = 0; q < config_.nr_hw_queues; ++q) dispatch(q);
+}
+
+}  // namespace dk::blk

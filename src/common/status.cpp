@@ -1,0 +1,22 @@
+#include "common/status.hpp"
+
+namespace dk {
+
+std::string_view errc_name(Errc e) {
+  switch (e) {
+    case Errc::ok: return "ok";
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::out_of_range: return "out_of_range";
+    case Errc::no_space: return "no_space";
+    case Errc::not_found: return "not_found";
+    case Errc::busy: return "busy";
+    case Errc::io_error: return "io_error";
+    case Errc::unsupported: return "unsupported";
+    case Errc::again: return "again";
+    case Errc::timed_out: return "timed_out";
+    case Errc::corrupted: return "corrupted";
+  }
+  return "unknown";
+}
+
+}  // namespace dk

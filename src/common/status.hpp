@@ -1,0 +1,96 @@
+// Lightweight status / result types for fallible operations.
+//
+// Errors inside the storage stack are values (mirroring the negative-errno
+// convention of the Linux block layer), not exceptions: the simulated kernel
+// paths and completion queues carry integer results exactly like CQE.res.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace dk {
+
+enum class Errc : int {
+  ok = 0,
+  invalid_argument,
+  out_of_range,
+  no_space,
+  not_found,
+  busy,
+  io_error,
+  unsupported,
+  again,       // resource temporarily exhausted (e.g. SQ full)
+  timed_out,
+  corrupted,   // checksum / decode failure
+};
+
+std::string_view errc_name(Errc e);
+
+class Status {
+ public:
+  Status() : code_(Errc::ok) {}
+  explicit Status(Errc code, std::string msg = {})
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status Ok() { return Status(); }
+  static Status Error(Errc code, std::string msg = {}) {
+    return Status(code, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Errc::ok; }
+  Errc code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string to_string() const {
+    std::string s(errc_name(code_));
+    if (!msg_.empty()) {
+      s += ": ";
+      s += msg_;
+    }
+    return s;
+  }
+
+ private:
+  Errc code_;
+  std::string msg_;
+};
+
+/// Result<T>: either a value or a Status error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}                 // NOLINT(google-explicit-constructor)
+  Result(Status status) : v_(std::move(status)) {           // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(v_).ok() && "Result error must not be ok");
+  }
+  Result(Errc code, std::string msg = {})
+      : v_(Status(code, std::move(msg))) {}
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  T& value() {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  const T& value() const {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(v_);
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace dk

@@ -1,0 +1,57 @@
+// Time and size units used throughout the DeLiBA-K reproduction.
+//
+// Simulated time is an integer count of nanoseconds (`Nanos`). All latency
+// calibration constants and the discrete-event simulator operate on this
+// type; using integers keeps the simulation deterministic across platforms.
+#pragma once
+
+#include <cstdint>
+
+namespace dk {
+
+/// Simulated time in nanoseconds.
+using Nanos = std::int64_t;
+
+constexpr Nanos kNanosecond = 1;
+constexpr Nanos kMicrosecond = 1'000;
+constexpr Nanos kMillisecond = 1'000'000;
+constexpr Nanos kSecond = 1'000'000'000;
+
+constexpr Nanos us(double v) { return static_cast<Nanos>(v * kMicrosecond); }
+constexpr Nanos ms(double v) { return static_cast<Nanos>(v * kMillisecond); }
+constexpr Nanos sec(double v) { return static_cast<Nanos>(v * kSecond); }
+
+constexpr double to_us(Nanos t) { return static_cast<double>(t) / kMicrosecond; }
+constexpr double to_ms(Nanos t) { return static_cast<double>(t) / kMillisecond; }
+constexpr double to_sec(Nanos t) { return static_cast<double>(t) / kSecond; }
+
+/// Sizes in bytes.
+constexpr std::uint64_t KiB = 1024;
+constexpr std::uint64_t MiB = 1024 * KiB;
+constexpr std::uint64_t GiB = 1024 * MiB;
+
+/// Storage-industry decimal units (fio reports MB/s = 1e6 B/s).
+constexpr double kMB = 1e6;
+constexpr double kGB = 1e9;
+
+/// Convert a (bytes, duration) pair to MB/s (decimal megabytes, fio-style).
+constexpr double mb_per_sec(std::uint64_t bytes, Nanos elapsed) {
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(bytes) / kMB / to_sec(elapsed);
+}
+
+/// Convert an operation count and duration to IOPS.
+constexpr double iops(std::uint64_t ops, Nanos elapsed) {
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(ops) / to_sec(elapsed);
+}
+
+/// Time to move `bytes` at `bytes_per_sec` (ceil to >=1 ns for nonzero work).
+constexpr Nanos transfer_time(std::uint64_t bytes, double bytes_per_sec) {
+  if (bytes == 0 || bytes_per_sec <= 0.0) return 0;
+  double t = static_cast<double>(bytes) / bytes_per_sec * kSecond;
+  Nanos n = static_cast<Nanos>(t);
+  return n > 0 ? n : 1;
+}
+
+}  // namespace dk

@@ -1,0 +1,77 @@
+// Calibration constants for the end-to-end timing model.
+//
+// Every host-side stage cost lives here, with its provenance. Two kinds of
+// constants exist:
+//   * micro-architecture constants with published/first-principles values
+//     (syscall cost, context-switch cost, PCIe rates, kernel clocks), and
+//   * per-framework residuals calibrated so the end-to-end simulation lands
+//     near the paper's measured latencies (Table II) and throughput ratios
+//     (Figs 3-4, 6-9). Residuals absorb what the paper measures but does
+//     not decompose (HLS shell inefficiency, daemon scheduling, etc.).
+//
+// The *shape* of every result (who wins, by what factor, where block-size
+// crossovers fall) is emergent from the stage structure — the variants
+// differ only in which stages they execute and how many copies/switches
+// they pay — not from per-result constants.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace dk::core {
+
+struct Calibration {
+  // --- Generic kernel-path costs (host CPU) -------------------------------
+  Nanos syscall = us(1.2);          // syscall entry/exit + dispatch
+  Nanos context_switch = us(1.5);   // user<->kernel switch incl. cache churn
+  double copy_bps = 1.9e9;          // user<->kernel buffer copy bandwidth
+                                    // (memcpy w/ cold pages; calibrated so
+                                    // D2's 5-copy path saturates ~340 MB/s
+                                    // at 128 kB, per Fig 6)
+  Nanos blk_layer = us(1.0);        // blk-mq request lifecycle CPU
+  Nanos mq_scheduler = us(1.5);     // MQ elevator work (skipped by DMQ)
+  Nanos irq_completion = us(3.0);   // interrupt + wakeup (non-polled modes)
+
+  // --- Legacy user-space stack (DeLiBA-1/2 and the D2 software baseline) --
+  Nanos nbd_loop = us(4.0);         // NBD daemon socket round trip per I/O
+  Nanos librbd = us(5.0);           // user-space librbd/librados processing
+
+  // --- DeLiBA-K kernel stack ----------------------------------------------
+  Nanos uring_submit = us(0.6);     // SQE prep + ring publish
+  Nanos uring_complete = us(0.5);   // CQE reap
+  Nanos uifd = us(3.0);             // UIFD driver + kernel RBD processing
+
+  // --- Host (software) network stack, used when TCP is NOT offloaded ------
+  Nanos host_tcp_per_msg = us(4.0); // kernel TCP/IP per-message CPU
+  double host_tcp_bps = 1.1e9;      // per-byte protocol/data-touch cost
+
+  // --- Software EC encode (client-side, when EC is NOT offloaded) ---------
+  double sw_encode_bps = 1.2e9;     // jerasure-class encode bandwidth
+
+  // --- Software CRUSH placement --------------------------------------------
+  // Table I reports per-kernel profiled execution times (55/48/... us) from
+  // instrumented ceph-kernel runs; the un-instrumented per-op cost is lower
+  // (profiling inflates hot loops). Scale applied to Table I sw times.
+  double sw_crush_scale = 0.6;
+
+  // --- Per-framework residuals (calibrated, see header comment) -----------
+  Nanos residual_d1 = us(21);       // D1: HLS shell + per-query PCIe hops
+  Nanos residual_d2 = us(2);        // D2: HLS TCP stack + daemon overhead
+  Nanos residual_d3 = us(3);        // DeLiBA-K: Verilog stack, minimal
+  Nanos residual_sw = us(3);        // software baselines
+
+  // Time the host worker stays occupied per I/O AFTER the request has been
+  // forwarded (deferred bookkeeping, copy-back, daemon scheduling). This is
+  // why the legacy stacks' throughput ceiling is lower than 1/latency:
+  // the NBD daemon serializes post-processing on its single event loop.
+  Nanos occupancy_extra_d1 = us(80);
+  Nanos occupancy_extra_d2 = us(60);
+  Nanos occupancy_extra_sw = us(70);
+  Nanos occupancy_extra_d3 = us(16);
+  // DeLiBA-K's occupancy also scales with bytes moved: QDMA descriptor
+  // management, DMA-completion handling, and offload-TCP flow-control
+  // pacing are per-byte (calibrated to Fig 6's 145 MB/s @4k .. 680 MB/s
+  // @128k envelope).
+  double occupancy_bps_d3 = 0.75e9;
+};
+
+}  // namespace dk::core

@@ -1,0 +1,411 @@
+#include "core/framework.hpp"
+
+#include <cassert>
+
+namespace dk::core {
+
+// ---------------------------------------------------------------------------
+// Adapters
+
+/// uring backend: SQEs consumed from the rings re-enter the framework
+/// pipeline; completions are posted back as CQEs.
+class Framework::RingBackend final : public uring::Backend {
+ public:
+  explicit RingBackend(Framework& fw) : fw_(fw) {}
+
+  void submit_io(const uring::Sqe& sqe,
+                 std::function<void(std::int32_t)> complete) override {
+    auto it = fw_.inflight_.find(sqe.user_data);
+    assert(it != fw_.inflight_.end());
+    it->second.ring_complete = std::move(complete);
+    fw_.start_io(sqe.user_data);
+  }
+
+ private:
+  Framework& fw_;
+};
+
+/// blk driver for variants whose payload does NOT ride QDMA (software
+/// baselines and D1): continue straight into the remote pipeline.
+class Framework::PipelineDriver final : public blk::Driver {
+ public:
+  explicit PipelineDriver(Framework& fw) : fw_(fw) {}
+
+  void queue_rq(blk::Request request) override {
+    auto complete = std::move(request.complete);
+    fw_.run_remote(request, std::move(complete));
+  }
+
+ private:
+  Framework& fw_;
+};
+
+// ---------------------------------------------------------------------------
+
+Framework::Framework(sim::Simulator& sim, FrameworkConfig config)
+    : sim_(sim), config_(config), traits_(variant_traits(config.variant)) {
+  config_.cluster.seed = config_.seed;
+  cluster_ = std::make_unique<rados::Cluster>(sim_, config_.cluster);
+  client_ = std::make_unique<rados::RadosClient>(*cluster_);
+
+  // Select the placement algorithm for the host buckets (the OSD level is
+  // what the bucket kernels accelerate and what ablations vary).
+  // The cluster is built by config; rebuild host buckets only if requested.
+  if (config_.placement_alg != config_.cluster.crush.host_alg) {
+    config_.cluster.crush.host_alg = config_.placement_alg;
+    cluster_ = std::make_unique<rados::Cluster>(sim_, config_.cluster);
+    client_ = std::make_unique<rados::RadosClient>(*cluster_);
+  }
+
+  pool_ = config_.pool_mode == PoolMode::replicated
+              ? cluster_->create_replicated_pool("rbd", config_.replica_size)
+              : cluster_->create_ec_pool("rbd-ec", config_.ec_profile);
+
+  image_ = std::make_unique<host::RbdDevice>(
+      *client_, host::RbdImageSpec{.name = "bench",
+                                   .size_bytes = config_.image_size,
+                                   .object_size = config_.object_size,
+                                   .pool = pool_});
+
+  const bool any_fpga =
+      traits_.fpga_crush || traits_.fpga_ec || traits_.fpga_tcp;
+  if (any_fpga) fpga_ = std::make_unique<fpga::FpgaDevice>(sim_);
+
+  const unsigned stations = traits_.uses_uring ? config_.uring_instances : 1;
+  for (unsigned i = 0; i < stations; ++i) {
+    workers_.push_back(std::make_unique<sim::FifoServer>(sim_, 1, "host-cpu"));
+    completion_workers_.push_back(
+        std::make_unique<sim::FifoServer>(sim_, 1, "host-cpl"));
+  }
+
+  if (traits_.uses_uring) {
+    ring_backend_ = std::make_unique<RingBackend>(*this);
+    uring::RegistryParams rp;
+    rp.instances = config_.uring_instances;
+    rp.ring.mode = config_.ring_mode;
+    rp.ring.sq_entries = 256;
+    urings_ = std::make_unique<uring::UringRegistry>(rp, *ring_backend_);
+  }
+
+  blk::MqConfig mqc;
+  mqc.nr_cpus = stations;
+  mqc.nr_hw_queues = stations;
+  mqc.bypass_scheduler =
+      config_.dmq_bypass_override.value_or(traits_.dmq_bypass);
+  mqc.max_io_bytes = 512 * 1024;
+
+  if (traits_.payload_over_qdma) {
+    assert(fpga_);
+    host::UifdConfig uc;
+    uc.nr_hw_queues = stations;
+    uc.queue_class = config_.pool_mode == PoolMode::erasure
+                         ? fpga::QueueClass::erasure_coding
+                         : fpga::QueueClass::replication;
+    uifd_ = std::make_unique<host::UifdDriver>(
+        *fpga_, uc,
+        [this](const blk::Request& r, std::function<void(std::int32_t)> done) {
+          run_remote(r, std::move(done));
+        });
+    mq_ = std::make_unique<blk::MqBlockLayer>(mqc, *uifd_);
+  } else {
+    driver_ = std::make_unique<PipelineDriver>(*this);
+    mq_ = std::make_unique<blk::MqBlockLayer>(mqc, *driver_);
+  }
+}
+
+Framework::~Framework() = default;
+
+rados::WriteStrategy Framework::write_strategy() const {
+  if (config_.write_strategy_override) return *config_.write_strategy_override;
+  if (config_.pool_mode == PoolMode::erasure && traits_.fpga_ec)
+    return rados::WriteStrategy::client_fanout;  // FPGA encodes + fans out
+  if (config_.pool_mode == PoolMode::replicated &&
+      config_.variant == VariantKind::delibak)
+    // §IV.A: the customized QDMA replication queues put every copy on the
+    // wire directly, removing the primary->replica store-and-forward hop.
+    return rados::WriteStrategy::client_fanout;
+  return rados::WriteStrategy::primary_copy;
+}
+
+rados::ReadStrategy Framework::read_strategy() const {
+  if (config_.pool_mode == PoolMode::erasure && traits_.fpga_ec)
+    return rados::ReadStrategy::direct_shards;
+  return rados::ReadStrategy::primary;
+}
+
+Nanos Framework::sw_crush_time() const {
+  const Nanos profiled =
+      fpga::kernel_spec(kernel_for_alg(config_.placement_alg)).sw_exec_time;
+  return static_cast<Nanos>(static_cast<double>(profiled) *
+                            config_.calib.sw_crush_scale);
+}
+
+Nanos Framework::host_submit_cost(bool is_write, std::uint64_t bytes) const {
+  const Calibration& c = config_.calib;
+  Nanos t = 0;
+  switch (config_.variant) {
+    case VariantKind::deliba1: t += c.residual_d1; break;
+    case VariantKind::deliba2: t += c.residual_d2; break;
+    case VariantKind::delibak: t += c.residual_d3; break;
+    default: t += c.residual_sw; break;
+  }
+
+  if (traits_.uses_uring) {
+    t += c.uring_submit;
+    if (config_.ring_mode != uring::RingMode::kernel_polled) t += c.syscall;
+  } else {
+    // read()/write() through the NBD device + user-space librbd daemon.
+    t += c.syscall + c.nbd_loop + c.librbd;
+  }
+  t += traits_.context_switches * c.context_switch;
+  t += traits_.memory_copies * transfer_time(bytes, c.copy_bps);
+
+  t += c.blk_layer;
+  if (!config_.dmq_bypass_override.value_or(traits_.dmq_bypass))
+    t += c.mq_scheduler;
+  if (traits_.uses_uring) t += c.uifd;
+
+  if (!traits_.fpga_tcp) {
+    t += c.host_tcp_per_msg;
+    if (is_write) t += transfer_time(bytes, c.host_tcp_bps);
+  }
+  if (!traits_.fpga_crush) t += sw_crush_time();
+  return t;
+}
+
+Nanos Framework::host_complete_cost(bool is_write, std::uint64_t bytes) const {
+  const Calibration& c = config_.calib;
+  Nanos t = 0;
+  if (traits_.uses_uring) {
+    t += c.uring_complete;
+    if (config_.ring_mode == uring::RingMode::interrupt)
+      t += c.irq_completion;
+  } else {
+    t += us(1) + c.irq_completion;  // socket wakeup into the NBD daemon
+  }
+  if (!traits_.fpga_tcp && !is_write) {
+    t += c.host_tcp_per_msg + transfer_time(bytes, c.host_tcp_bps);
+  }
+  return t;
+}
+
+Nanos Framework::host_occupancy_extra(std::uint64_t bytes) const {
+  const Calibration& c = config_.calib;
+  switch (config_.variant) {
+    case VariantKind::deliba1: return c.occupancy_extra_d1;
+    case VariantKind::deliba2: return c.occupancy_extra_d2;
+    case VariantKind::delibak:
+      return c.occupancy_extra_d3 + transfer_time(bytes, c.occupancy_bps_d3);
+    case VariantKind::sw_delibak: return c.occupancy_extra_d3;
+    case VariantKind::sw_ceph_d2: return c.occupancy_extra_sw;
+  }
+  return 0;
+}
+
+Nanos Framework::fpga_stage_latency(bool is_write, std::uint64_t bytes) {
+  if (!fpga_) return 0;
+  Nanos f = 0;
+  if (traits_.fpga_crush) {
+    const fpga::KernelKind kernel = kernel_for_alg(config_.placement_alg);
+    const unsigned fanout = config_.pool_mode == PoolMode::erasure
+                                ? config_.ec_profile.total()
+                                : config_.replica_size;
+    auto lat = fpga_->placement_latency(kernel, fanout);
+    if (lat.ok()) {
+      f += *lat;
+      ++stats_.fpga_placements;
+    } else if (config_.sw_fallback_when_kernel_absent) {
+      // RM is being reconfigured (or not loaded): fall back to host CRUSH.
+      f += sw_crush_time();
+      ++stats_.sw_placement_fallbacks;
+    }
+    if (!traits_.payload_over_qdma) {
+      // DeLiBA-1: the placement query crosses PCIe per I/O (the payload
+      // itself stays on the host network path).
+      f += 2 * fpga_->qdma().idle_latency(64);
+    }
+  }
+  if (traits_.fpga_ec && config_.pool_mode == PoolMode::erasure && is_write) {
+    auto enc = fpga_->encode_latency(bytes);
+    if (enc.ok()) f += *enc;
+  }
+  if (traits_.fpga_tcp) {
+    // TX of the data-bearing direction plus RX of the other side's frames.
+    const std::uint64_t tx = is_write ? bytes : rados::kMsgHeaderBytes;
+    const std::uint64_t rx = is_write ? rados::kMsgHeaderBytes : bytes;
+    f += fpga_->tcpip().message_latency(tx) +
+         fpga_->tcpip().message_latency(rx);
+  }
+  return f;
+}
+
+void Framework::write(unsigned job, std::uint64_t offset,
+                      std::vector<std::uint8_t> data, WriteDoneFn cb) {
+  if (config_.pool_mode == PoolMode::erasure && !traits_.supports_ec) {
+    cb(-static_cast<std::int32_t>(Errc::unsupported));
+    return;
+  }
+  const std::uint64_t token = next_token_++;
+  IoCtx& ctx = inflight_[token];
+  ctx.is_read = false;
+  ctx.job = job;
+  ctx.offset = offset;
+  ctx.length = data.size();
+  ctx.data = std::move(data);
+  ctx.wcb = std::move(cb);
+  ++stats_.writes;
+  stats_.bytes_written += ctx.length;
+
+  if (traits_.uses_uring) {
+    uring::IoUring& ring =
+        urings_->ring(job % urings_->size());
+    const Status s = ring.prep_write(
+        0, token, static_cast<std::uint32_t>(ctx.length), offset, token);
+    if (!s.ok()) {
+      auto wcb = std::move(ctx.wcb);
+      inflight_.erase(token);
+      wcb(-static_cast<std::int32_t>(s.code()));
+      return;
+    }
+    if (config_.ring_mode == uring::RingMode::kernel_polled)
+      ring.kernel_poll();
+    else
+      ring.enter();
+  } else {
+    start_io(token);
+  }
+}
+
+void Framework::read(unsigned job, std::uint64_t offset, std::uint64_t length,
+                     ReadDoneFn cb) {
+  if (config_.pool_mode == PoolMode::erasure && !traits_.supports_ec) {
+    cb(Status::Error(Errc::unsupported, "DeLiBA-1 has no EC accelerators"));
+    return;
+  }
+  const std::uint64_t token = next_token_++;
+  IoCtx& ctx = inflight_[token];
+  ctx.is_read = true;
+  ctx.job = job;
+  ctx.offset = offset;
+  ctx.length = length;
+  ctx.rcb = std::move(cb);
+  ++stats_.reads;
+  stats_.bytes_read += length;
+
+  if (traits_.uses_uring) {
+    uring::IoUring& ring = urings_->ring(job % urings_->size());
+    const Status s = ring.prep_read(
+        0, token, static_cast<std::uint32_t>(length), offset, token);
+    if (!s.ok()) {
+      auto rcb = std::move(ctx.rcb);
+      inflight_.erase(token);
+      rcb(Status::Error(s.code(), "submission queue full"));
+      return;
+    }
+    if (config_.ring_mode == uring::RingMode::kernel_polled)
+      ring.kernel_poll();
+    else
+      ring.enter();
+  } else {
+    start_io(token);
+  }
+}
+
+void Framework::start_io(std::uint64_t token) {
+  auto it = inflight_.find(token);
+  assert(it != inflight_.end());
+  IoCtx& ctx = it->second;
+  sim::FifoServer& worker = *workers_[ctx.job % workers_.size()];
+  const Nanos submit = host_submit_cost(!ctx.is_read, ctx.length);
+  worker.submit(submit, [this, token] { enter_block_layer(token); });
+  const Nanos extra = host_occupancy_extra(ctx.length);
+  if (extra > 0) worker.submit(extra, nullptr);
+}
+
+void Framework::enter_block_layer(std::uint64_t token) {
+  auto it = inflight_.find(token);
+  assert(it != inflight_.end());
+  IoCtx& ctx = it->second;
+
+  blk::Request req;
+  req.op = ctx.is_read ? blk::ReqOp::read : blk::ReqOp::write;
+  req.offset = ctx.offset;
+  req.len = static_cast<std::uint32_t>(ctx.length);
+  req.addr = token;
+  req.user_data = token;
+  req.complete = [this, token](std::int32_t res) {
+    auto cit = inflight_.find(token);
+    if (cit == inflight_.end()) return;
+    IoCtx& c = cit->second;
+    sim::FifoServer& worker =
+        *completion_workers_[c.job % completion_workers_.size()];
+    const Nanos complete_cost = host_complete_cost(!c.is_read, c.length);
+    worker.submit(complete_cost, [this, token, res] { finish_io(token, res); });
+  };
+  const Status s = mq_->submit(ctx.job % workers_.size(), std::move(req));
+  if (!s.ok()) finish_io(token, -static_cast<std::int32_t>(s.code()));
+}
+
+void Framework::run_remote(const blk::Request& request,
+                           std::function<void(std::int32_t)> done) {
+  const std::uint64_t token = request.user_data;
+  const bool is_read = request.op == blk::ReqOp::read;
+  const Nanos f = fpga_stage_latency(!is_read, request.len);
+
+  sim_.schedule_after(f, [this, token, is_read,
+                          done = std::move(done)]() mutable {
+    auto it = inflight_.find(token);
+    if (it == inflight_.end()) {
+      done(-static_cast<std::int32_t>(Errc::not_found));
+      return;
+    }
+    IoCtx& ctx = it->second;
+    if (!is_read) {
+      image_->aio_write(ctx.offset, std::move(ctx.data), write_strategy(),
+                        std::move(done));
+    } else {
+      image_->aio_read(
+          ctx.offset, ctx.length, read_strategy(),
+          [this, token, done = std::move(done)](
+              Result<std::vector<std::uint8_t>> r) {
+            auto rit = inflight_.find(token);
+            if (rit == inflight_.end()) return;
+            if (r.ok()) {
+              rit->second.data = std::move(*r);
+              done(static_cast<std::int32_t>(rit->second.data.size()));
+            } else {
+              rit->second.read_error = r.status();
+              done(-static_cast<std::int32_t>(r.status().code()));
+            }
+          });
+    }
+  });
+}
+
+void Framework::finish_io(std::uint64_t token, std::int32_t res) {
+  auto it = inflight_.find(token);
+  assert(it != inflight_.end());
+  IoCtx ctx = std::move(it->second);
+  inflight_.erase(it);
+
+  // Post + reap the CQE so ring statistics reflect reality.
+  if (ctx.ring_complete) {
+    ctx.ring_complete(res);
+    uring::Cqe cqe;
+    urings_->ring(ctx.job % urings_->size()).peek_cqes({&cqe, 1});
+  }
+
+  if (ctx.is_read) {
+    if (res < 0) {
+      ctx.rcb(ctx.read_error.ok()
+                  ? Status::Error(Errc::io_error, "read failed")
+                  : ctx.read_error);
+    } else {
+      ctx.rcb(std::move(ctx.data));
+    }
+  } else {
+    ctx.wcb(res);
+  }
+}
+
+}  // namespace dk::core

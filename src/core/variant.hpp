@@ -1,0 +1,98 @@
+// The five framework variants the paper evaluates, as declarative traits.
+//
+// Each variant is a different composition of the same stages; the framework
+// (framework.hpp) interprets these traits when charging per-I/O costs, so
+// the relative results are structural:
+//
+//   sw_ceph_d2  — DeLiBA-2 software baseline: NBD + librbd, traditional
+//                 read()/write() (5 context switches / 5 copies), software
+//                 CRUSH + EC, host TCP. (Figs 3-4 reference line.)
+//   sw_delibak  — DeLiBA-K software baseline: io_uring (kernel-polled) +
+//                 DMQ bypass + kernel RBD, still software CRUSH/EC + host
+//                 TCP — isolates the host-API gains. (Figs 3-4 subject.)
+//   deliba1     — D1 hardware: CRUSH on FPGA (per-query PCIe hops), but the
+//                 NBD path (6 switches / 6 copies) and HOST network stack.
+//   deliba2     — D2 hardware: CRUSH + EC + TCP on FPGA, NBD path with 5
+//                 switches / 5 copies.
+//   delibak     — DeLiBA-K (D3): io_uring + DMQ bypass + UIFD + QDMA, all
+//                 offloads, zero user/kernel payload copies.
+#pragma once
+
+#include <string_view>
+
+#include "crush/bucket.hpp"
+#include "fpga/accel.hpp"
+
+namespace dk::core {
+
+enum class VariantKind {
+  sw_ceph_d2,
+  sw_delibak,
+  deliba1,
+  deliba2,
+  delibak,
+};
+
+constexpr std::string_view variant_name(VariantKind v) {
+  switch (v) {
+    case VariantKind::sw_ceph_d2: return "D2-SW (NBD/librbd baseline)";
+    case VariantKind::sw_delibak: return "D3-SW (io_uring baseline)";
+    case VariantKind::deliba1: return "DeLiBA-1 (D1)";
+    case VariantKind::deliba2: return "DeLiBA-2 (D2)";
+    case VariantKind::delibak: return "DeLiBA-K (D3)";
+  }
+  return "?";
+}
+
+constexpr std::string_view variant_short_name(VariantKind v) {
+  switch (v) {
+    case VariantKind::sw_ceph_d2: return "D2-SW";
+    case VariantKind::sw_delibak: return "D3-SW";
+    case VariantKind::deliba1: return "D1";
+    case VariantKind::deliba2: return "D2";
+    case VariantKind::delibak: return "D3";
+  }
+  return "?";
+}
+
+struct VariantTraits {
+  bool uses_uring;           // io_uring vs read()/write()+NBD submission
+  bool dmq_bypass;           // skip the MQ scheduler
+  bool fpga_crush;           // placement on the FPGA bucket kernels
+  bool fpga_ec;              // RS encode on the FPGA
+  bool fpga_tcp;             // network stack offloaded to the FPGA
+  bool payload_over_qdma;    // payload DMAed host<->card (fpga_tcp implies)
+  unsigned context_switches; // per-I/O user/kernel switches
+  unsigned memory_copies;    // per-I/O payload copies
+  bool supports_ec;          // D1 shipped no EC accelerators
+};
+
+constexpr VariantTraits variant_traits(VariantKind v) {
+  switch (v) {
+    case VariantKind::sw_ceph_d2:
+      return {false, false, false, false, false, false, 5, 5, true};
+    case VariantKind::sw_delibak:
+      return {true, true, false, false, false, false, 0, 0, true};
+    case VariantKind::deliba1:
+      return {false, false, true, false, false, false, 6, 6, false};
+    case VariantKind::deliba2:
+      return {false, false, true, true, true, true, 5, 5, true};
+    case VariantKind::delibak:
+      return {true, true, true, true, true, true, 0, 0, true};
+  }
+  return {};
+}
+
+/// Map a CRUSH bucket algorithm onto the FPGA kernel that accelerates it.
+constexpr fpga::KernelKind kernel_for_alg(crush::BucketAlg alg) {
+  switch (alg) {
+    case crush::BucketAlg::uniform: return fpga::KernelKind::uniform;
+    case crush::BucketAlg::list: return fpga::KernelKind::list;
+    case crush::BucketAlg::tree: return fpga::KernelKind::tree;
+    case crush::BucketAlg::straw: return fpga::KernelKind::straw;
+    case crush::BucketAlg::straw2: return fpga::KernelKind::straw2;
+  }
+  return fpga::KernelKind::straw2;
+}
+
+}  // namespace dk::core

@@ -1,0 +1,32 @@
+// Convenience builders for the cluster topologies used in the paper's
+// evaluation: a root bucket over `hosts` host buckets with `osds_per_host`
+// devices each (the industrial testbed is 2 hosts x 16 OSDs = 32 OSDs).
+#pragma once
+
+#include <vector>
+
+#include "crush/map.hpp"
+
+namespace dk::crush {
+
+struct ClusterLayout {
+  CrushMap map;
+  ItemId root = kNoItem;
+  std::vector<ItemId> hosts;
+  std::vector<ItemId> osds;        // device ids 0..n-1
+  int replicated_rule = -1;        // chooseleaf across hosts
+  int ec_rule = -1;                // choose across devices (small clusters)
+};
+
+struct ClusterSpec {
+  unsigned hosts = 2;
+  unsigned osds_per_host = 16;
+  BucketAlg host_alg = BucketAlg::straw2;
+  BucketAlg root_alg = BucketAlg::straw2;
+  double osd_weight = 1.0;
+};
+
+/// Build the hierarchy root -> hosts -> OSDs with both placement rules.
+ClusterLayout build_cluster(const ClusterSpec& spec);
+
+}  // namespace dk::crush

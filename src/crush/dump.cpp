@@ -1,0 +1,216 @@
+#include "crush/dump.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+namespace dk::crush {
+
+namespace {
+
+std::string weight_str(Weight w) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", weight_to_double(w));
+  return buf;
+}
+
+Result<BucketAlg> alg_from_name(std::string_view name) {
+  for (BucketAlg alg : {BucketAlg::uniform, BucketAlg::list, BucketAlg::tree,
+                        BucketAlg::straw, BucketAlg::straw2}) {
+    if (bucket_alg_name(alg) == name) return alg;
+  }
+  return Status::Error(Errc::invalid_argument,
+                       "unknown bucket alg: " + std::string(name));
+}
+
+/// Whitespace tokenizer with line tracking.
+struct Tokens {
+  std::vector<std::string> tok;
+  std::size_t pos = 0;
+
+  explicit Tokens(std::string_view text) {
+    std::string cur;
+    bool comment = false;
+    for (char c : text) {
+      if (c == '\n') comment = false;
+      if (comment) continue;
+      if (c == '#') {
+        comment = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        if (!cur.empty()) tok.push_back(std::move(cur));
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+    if (!cur.empty()) tok.push_back(std::move(cur));
+  }
+
+  bool done() const { return pos >= tok.size(); }
+  const std::string& peek() const { return tok[pos]; }
+  std::string next() { return tok[pos++]; }
+
+  Result<long long> next_int() {
+    if (done()) return Status::Error(Errc::invalid_argument, "unexpected EOF");
+    try {
+      return std::stoll(next());
+    } catch (...) {
+      return Status::Error(Errc::invalid_argument,
+                           "expected integer near token " +
+                               std::to_string(pos));
+    }
+  }
+  Result<double> next_double() {
+    if (done()) return Status::Error(Errc::invalid_argument, "unexpected EOF");
+    try {
+      return std::stod(next());
+    } catch (...) {
+      return Status::Error(Errc::invalid_argument, "expected number");
+    }
+  }
+  Status expect(std::string_view want) {
+    if (done() || next() != want)
+      return Status::Error(Errc::invalid_argument,
+                           "expected '" + std::string(want) + "'");
+    return Status::Ok();
+  }
+};
+
+}  // namespace
+
+std::string dump_map(const CrushMap& map) {
+  std::ostringstream os;
+  os << "# dk-crush text map\n";
+  os << "tunable choose_total_tries " << map.choose_total_tries() << "\n";
+
+  for (const auto& [id, bucket] : map.buckets()) {
+    os << "bucket " << id << " type " << bucket.type() << " alg "
+       << bucket_alg_name(bucket.alg()) << " {\n";
+    for (std::size_t i = 0; i < bucket.items().size(); ++i) {
+      os << "  item " << bucket.items()[i] << " weight "
+         << weight_str(bucket.item_weight(i)) << "\n";
+    }
+    os << "}\n";
+  }
+
+  for (const auto& [id, rule] : map.rules()) {
+    os << "rule " << id << " " << (rule.name.empty() ? "unnamed" : rule.name)
+       << " {\n";
+    for (const RuleStep& step : rule.steps) {
+      switch (step.op) {
+        case RuleStep::Op::take:
+          os << "  take " << step.take_target << "\n";
+          break;
+        case RuleStep::Op::choose_firstn:
+          os << "  choose_firstn " << step.count << " type " << step.type
+             << "\n";
+          break;
+        case RuleStep::Op::chooseleaf_firstn:
+          os << "  chooseleaf_firstn " << step.count << " type " << step.type
+             << "\n";
+          break;
+        case RuleStep::Op::emit:
+          os << "  emit\n";
+          break;
+      }
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+Result<CrushMap> parse_map(std::string_view text) {
+  Tokens t(text);
+  CrushMap map;
+
+  // Deferred links: parent -> (child, weight), resolved after all buckets
+  // exist so forward references work.
+  std::vector<std::tuple<ItemId, ItemId, Weight>> links;
+
+  while (!t.done()) {
+    const std::string kw = t.next();
+    if (kw == "tunable") {
+      const std::string name = t.done() ? "" : t.next();
+      auto v = t.next_int();
+      if (!v.ok()) return v.status();
+      if (name == "choose_total_tries")
+        map.set_choose_total_tries(static_cast<unsigned>(*v));
+      // Unknown tunables are ignored for forward compatibility.
+    } else if (kw == "bucket") {
+      auto id = t.next_int();
+      if (!id.ok()) return id.status();
+      if (Status s = t.expect("type"); !s.ok()) return s;
+      auto type = t.next_int();
+      if (!type.ok()) return type.status();
+      if (Status s = t.expect("alg"); !s.ok()) return s;
+      if (t.done()) return Status::Error(Errc::invalid_argument, "EOF at alg");
+      auto alg = alg_from_name(t.next());
+      if (!alg.ok()) return alg.status();
+      auto created = map.add_bucket_with_id(static_cast<ItemId>(*id),
+                                            static_cast<std::uint16_t>(*type),
+                                            *alg);
+      if (!created.ok()) return created.status();
+      if (Status s = t.expect("{"); !s.ok()) return s;
+      while (!t.done() && t.peek() != "}") {
+        if (Status s = t.expect("item"); !s.ok()) return s;
+        auto child = t.next_int();
+        if (!child.ok()) return child.status();
+        if (Status s = t.expect("weight"); !s.ok()) return s;
+        auto w = t.next_double();
+        if (!w.ok()) return w.status();
+        links.emplace_back(static_cast<ItemId>(*id),
+                           static_cast<ItemId>(*child),
+                           weight_from_double(*w));
+      }
+      if (Status s = t.expect("}"); !s.ok()) return s;
+    } else if (kw == "rule") {
+      auto id = t.next_int();
+      if (!id.ok()) return id.status();
+      if (t.done()) return Status::Error(Errc::invalid_argument, "EOF at rule");
+      Rule rule;
+      rule.name = t.next();
+      if (Status s = t.expect("{"); !s.ok()) return s;
+      while (!t.done() && t.peek() != "}") {
+        const std::string op = t.next();
+        if (op == "take") {
+          auto target = t.next_int();
+          if (!target.ok()) return target.status();
+          rule.steps.push_back(RuleStep::Take(static_cast<ItemId>(*target)));
+        } else if (op == "choose_firstn" || op == "chooseleaf_firstn") {
+          auto count = t.next_int();
+          if (!count.ok()) return count.status();
+          if (Status s = t.expect("type"); !s.ok()) return s;
+          auto type = t.next_int();
+          if (!type.ok()) return type.status();
+          rule.steps.push_back(
+              op == "choose_firstn"
+                  ? RuleStep::ChooseFirstN(static_cast<int>(*count),
+                                           static_cast<std::uint16_t>(*type))
+                  : RuleStep::ChooseLeafFirstN(
+                        static_cast<int>(*count),
+                        static_cast<std::uint16_t>(*type)));
+        } else if (op == "emit") {
+          rule.steps.push_back(RuleStep::Emit());
+        } else {
+          return Status::Error(Errc::invalid_argument,
+                               "unknown rule step: " + op);
+        }
+      }
+      if (Status s = t.expect("}"); !s.ok()) return s;
+      map.add_rule(std::move(rule));
+    } else {
+      return Status::Error(Errc::invalid_argument, "unknown keyword: " + kw);
+    }
+  }
+
+  // Resolve links. Child buckets must exist; devices (>= 0) always do.
+  for (const auto& [parent, child, weight] : links) {
+    Status s = map.link(parent, child, weight);
+    if (!s.ok()) return s;
+  }
+  return map;
+}
+
+}  // namespace dk::crush

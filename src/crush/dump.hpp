@@ -1,0 +1,33 @@
+// Text (de)compilation of CRUSH maps, in the spirit of `crushtool -d` /
+// `crushtool -c`: a human-readable, diffable description of the hierarchy
+// and rules that round-trips losslessly through parse().
+//
+// Format (one item per line, '#' comments):
+//   tunable choose_total_tries 19
+//   bucket -3 type 10 alg straw2 {
+//     item -1 weight 16.000
+//     item -2 weight 16.000
+//   }
+//   rule 0 replicated {
+//     take -3
+//     chooseleaf_firstn 0 type 1
+//     emit
+//   }
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+#include "crush/map.hpp"
+
+namespace dk::crush {
+
+/// Decompile a map into its text form.
+std::string dump_map(const CrushMap& map);
+
+/// Compile text back into a CrushMap. Buckets may reference other buckets
+/// defined later in the file (two-pass link resolution).
+Result<CrushMap> parse_map(std::string_view text);
+
+}  // namespace dk::crush

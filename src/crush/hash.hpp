@@ -1,0 +1,86 @@
+// rjenkins1 integer hash, the mixing function at the heart of CRUSH
+// (Weil et al., SC'06). Follows the structure of Ceph's crush/hash.c:
+// a Bob Jenkins 96-bit mix over the operands plus fixed salt constants.
+#pragma once
+
+#include <cstdint>
+
+namespace dk::crush {
+
+constexpr std::uint32_t kHashSeed = 1315423911u;
+
+namespace detail {
+
+struct Mix {
+  std::uint32_t a, b, c;
+
+  constexpr void mix() {
+    a -= b; a -= c; a ^= c >> 13;
+    b -= c; b -= a; b ^= a << 8;
+    c -= a; c -= b; c ^= b >> 13;
+    a -= b; a -= c; a ^= c >> 12;
+    b -= c; b -= a; b ^= a << 16;
+    c -= a; c -= b; c ^= b >> 5;
+    a -= b; a -= c; a ^= c >> 3;
+    b -= c; b -= a; b ^= a << 10;
+    c -= a; c -= b; c ^= b >> 15;
+  }
+};
+
+constexpr void hashmix(std::uint32_t a, std::uint32_t b, std::uint32_t& h) {
+  Mix m{a, b, h};
+  m.mix();
+  h = m.c;
+}
+
+constexpr std::uint32_t kSaltX = 231232u;
+constexpr std::uint32_t kSaltY = 1232u;
+
+}  // namespace detail
+
+constexpr std::uint32_t hash32_2(std::uint32_t a, std::uint32_t b) {
+  std::uint32_t h = kHashSeed ^ a ^ b;
+  detail::hashmix(a, b, h);
+  detail::hashmix(detail::kSaltX, a, h);
+  detail::hashmix(b, detail::kSaltY, h);
+  return h;
+}
+
+constexpr std::uint32_t hash32_3(std::uint32_t a, std::uint32_t b,
+                                 std::uint32_t c) {
+  std::uint32_t h = kHashSeed ^ a ^ b ^ c;
+  detail::hashmix(a, b, h);
+  detail::hashmix(c, detail::kSaltX, h);
+  detail::hashmix(detail::kSaltY, a, h);
+  detail::hashmix(b, detail::kSaltX, h);
+  detail::hashmix(detail::kSaltY, c, h);
+  return h;
+}
+
+constexpr std::uint32_t hash32_4(std::uint32_t a, std::uint32_t b,
+                                 std::uint32_t c, std::uint32_t d) {
+  std::uint32_t h = kHashSeed ^ a ^ b ^ c ^ d;
+  detail::hashmix(a, b, h);
+  detail::hashmix(c, d, h);
+  detail::hashmix(a, detail::kSaltX, h);
+  detail::hashmix(detail::kSaltY, b, h);
+  detail::hashmix(c, detail::kSaltX, h);
+  detail::hashmix(detail::kSaltY, d, h);
+  return h;
+}
+
+constexpr std::uint32_t hash32_5(std::uint32_t a, std::uint32_t b,
+                                 std::uint32_t c, std::uint32_t d,
+                                 std::uint32_t e) {
+  std::uint32_t h = kHashSeed ^ a ^ b ^ c ^ d ^ e;
+  detail::hashmix(a, b, h);
+  detail::hashmix(c, d, h);
+  detail::hashmix(e, detail::kSaltX, h);
+  detail::hashmix(detail::kSaltY, a, h);
+  detail::hashmix(b, detail::kSaltX, h);
+  detail::hashmix(detail::kSaltY, c, h);
+  detail::hashmix(d, detail::kSaltX, h);
+  return h;
+}
+
+}  // namespace dk::crush

@@ -1,0 +1,34 @@
+#include "crush/ln.hpp"
+
+#include <array>
+#include <cmath>
+#include <memory>
+
+namespace dk::crush {
+
+namespace {
+
+struct LnTable {
+  // 65537 entries: crush_ln(x) for x in [0, 65536].
+  std::array<std::int64_t, 65537> v;
+  LnTable() {
+    v[0] = 0;
+    constexpr double scale = 17592186044416.0;  // 2^44
+    for (std::uint32_t x = 1; x <= 65536; ++x)
+      v[x] = static_cast<std::int64_t>(std::llround(std::log2(double(x)) * scale));
+  }
+};
+
+const LnTable& table() {
+  static const LnTable t;
+  return t;
+}
+
+}  // namespace
+
+std::int64_t crush_ln(std::uint32_t x) {
+  if (x > 65536) x = 65536;
+  return table().v[x];
+}
+
+}  // namespace dk::crush

@@ -1,0 +1,22 @@
+// Fixed-point log2 used by the straw2 bucket.
+//
+// straw2 draws, for each item, u = hash & 0xffff and computes
+//   draw_i = (log2(u / 2^16) * 2^44) / weight_i
+// choosing the maximum (least negative). crush_ln(x) therefore returns
+// log2(x) in 44-bit fixed point for x in [1, 2^16]; crush_ln(2^16) == 2^48.
+// We build a 2^16-entry table once at startup so lookups are deterministic
+// and O(1) — the same trade the Verilog Straw2 accelerator makes with its
+// on-chip LUT (Table I of the paper).
+#pragma once
+
+#include <cstdint>
+
+namespace dk::crush {
+
+/// log2(x) * 2^44 for x in [1, 65536]; returns 0 for x == 0.
+std::int64_t crush_ln(std::uint32_t x);
+
+/// Offset subtracted so draws are <= 0: crush_ln(0x10000) == kLnMax.
+constexpr std::int64_t kLnMax = 0x1000000000000LL;  // 16 * 2^44 == 2^48
+
+}  // namespace dk::crush

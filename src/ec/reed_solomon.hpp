@@ -1,0 +1,66 @@
+// Systematic Reed-Solomon erasure coding over GF(2^8).
+//
+// This is the functional model of both (a) Ceph's jerasure EC backend used
+// by the software baselines, and (b) the Verilog Reed-Solomon Encoder RTL
+// accelerator in the DeLiBA-K FPGA stack (Table I / Table III of the paper).
+// An object of `k * chunk_size` bytes is split into k data chunks and m
+// coding chunks; any k of the k+m chunks reconstruct the original.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "gf/matrix.hpp"
+
+namespace dk::ec {
+
+using Chunk = std::vector<std::uint8_t>;
+
+enum class GeneratorKind { vandermonde, cauchy };
+
+/// EC profile, mirroring a Ceph erasure-code profile (k, m, stripe unit).
+struct Profile {
+  unsigned k = 4;                 // data chunks
+  unsigned m = 2;                 // coding chunks
+  GeneratorKind generator = GeneratorKind::vandermonde;
+
+  unsigned total() const { return k + m; }
+};
+
+class ReedSolomon {
+ public:
+  explicit ReedSolomon(Profile profile);
+
+  const Profile& profile() const { return profile_; }
+  const gf::Matrix& generator() const { return generator_; }
+
+  /// Pad `object` to a multiple of k and split into k equal data chunks.
+  std::vector<Chunk> split(std::span<const std::uint8_t> object) const;
+
+  /// Compute the m coding chunks for the given k data chunks.
+  Result<std::vector<Chunk>> encode(const std::vector<Chunk>& data) const;
+
+  /// Reconstruct all k data chunks from any k available chunks.
+  /// `chunks[i]` is empty (nullopt) when chunk i is erased; indices 0..k-1
+  /// are data chunks, k..k+m-1 coding chunks.
+  Result<std::vector<Chunk>> decode(
+      const std::vector<std::optional<Chunk>>& chunks) const;
+
+  /// Reassemble the original object (without padding) from data chunks.
+  std::vector<std::uint8_t> assemble(const std::vector<Chunk>& data,
+                                     std::size_t original_size) const;
+
+  /// GF multiply-accumulate operation count for encoding `bytes` — the work
+  /// metric the FPGA cycle model charges for the RS Encoder kernel.
+  std::uint64_t encode_ops(std::size_t object_bytes) const;
+
+ private:
+  Profile profile_;
+  gf::Matrix generator_;  // (k+m) x k systematic generator
+};
+
+}  // namespace dk::ec

@@ -1,0 +1,48 @@
+#include "fpga/accel.hpp"
+
+#include <cassert>
+
+namespace dk::fpga {
+
+std::string_view kernel_name(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::straw: return "Straw Bucket";
+    case KernelKind::straw2: return "Straw2 Bucket";
+    case KernelKind::list: return "List Bucket";
+    case KernelKind::tree: return "Tree Bucket";
+    case KernelKind::uniform: return "Uniform Bucket";
+    case KernelKind::rs_encoder: return "Reed-Solomon Encoder";
+  }
+  return "?";
+}
+
+namespace {
+
+// Table I + Table III of the paper, verbatim. Static kernels (straw,
+// straw2, rs_encoder) live in the always-loaded region spanning SLR1/SLR2;
+// list/tree/uniform are the three DFX reconfigurable modules in SLR0.
+constexpr KernelSpec kSpecs[] = {
+    {KernelKind::straw, us(55), 0.80, 105, 105, us(49), 256, 880,
+     {78'555, 224'000, 190, 26, 0}, false},
+    {KernelKind::straw2, us(48), 0.80, 155, 155, us(51), 256, 806,
+     {82'334, 313'000, 165, 35, 0}, false},
+    {KernelKind::list, us(35), 0.80, 40, 40, us(56), 197, 770,
+     {52'335, 92'456, 85, 22, 0}, true},
+    {KernelKind::tree, us(22), 0.85, 130, 130, us(31), 241, 780,
+     {56'563, 97'523, 82, 26, 0}, true},
+    {KernelKind::uniform, us(9), 0.72, 40, 50, us(19), 237, 745,
+     {62'456, 112'000, 78, 29, 0}, true},
+    {KernelKind::rs_encoder, us(65), 0.70, 150, 150, us(85), 280, 960,
+     {92'355, 582'000, 215, 52, 0}, false},
+};
+
+}  // namespace
+
+const KernelSpec& kernel_spec(KernelKind kind) {
+  for (const auto& spec : kSpecs)
+    if (spec.kind == kind) return spec;
+  assert(false && "unknown kernel kind");
+  return kSpecs[0];
+}
+
+}  // namespace dk::fpga

@@ -1,0 +1,116 @@
+#include "fpga/qdma.hpp"
+
+#include <cassert>
+
+namespace dk::fpga {
+
+QdmaEngine::QdmaEngine(sim::Simulator& sim, QdmaConfig config)
+    : sim_(sim),
+      config_(config),
+      pcie_(sim, config.pcie_bytes_per_sec, /*latency=*/0, "pcie"),
+      h2c_engine_(sim, config.h2c_max_concurrent, "h2c"),
+      c2h_engine_(sim, config.h2c_max_concurrent, "c2h") {}
+
+Result<unsigned> QdmaEngine::alloc_queue_set(QueueClass cls, unsigned vf) {
+  if (active_sets_ >= config_.max_queue_sets)
+    return Status::Error(Errc::no_space, "all 2048 queue sets in use");
+  // Reuse a freed slot if any, else append.
+  for (unsigned i = 0; i < sets_.size(); ++i) {
+    if (!sets_[i]) {
+      sets_[i] = std::make_unique<QueueSet>(i, cls, vf, config_.ring_entries);
+      ++active_sets_;
+      return i;
+    }
+  }
+  const unsigned id = static_cast<unsigned>(sets_.size());
+  sets_.push_back(std::make_unique<QueueSet>(id, cls, vf, config_.ring_entries));
+  ++active_sets_;
+  return id;
+}
+
+Status QdmaEngine::free_queue_set(unsigned id) {
+  if (id >= sets_.size() || !sets_[id])
+    return Status::Error(Errc::not_found, "no such queue set");
+  sets_[id].reset();
+  --active_sets_;
+  return Status::Ok();
+}
+
+QueueSet* QdmaEngine::queue_set(unsigned id) {
+  return id < sets_.size() ? sets_[id].get() : nullptr;
+}
+
+std::vector<unsigned> QdmaEngine::queue_sets_of_vf(unsigned vf) const {
+  std::vector<unsigned> out;
+  for (const auto& s : sets_)
+    if (s && s->virtual_function() == vf) out.push_back(s->id());
+  return out;
+}
+
+Nanos QdmaEngine::idle_latency(std::uint64_t bytes) const {
+  return config_.doorbell_latency +
+         transfer_time(bytes + kDescriptorBytes, config_.pcie_bytes_per_sec) +
+         config_.completion_latency;
+}
+
+Status QdmaEngine::dma(unsigned id, std::uint64_t bytes, bool h2c_dir,
+                       sim::EventFn done) {
+  QueueSet* qs = queue_set(id);
+  if (!qs) return Status::Error(Errc::not_found, "no such queue set");
+  if (outstanding_descriptors_ >= kMaxOutstandingDescriptors) {
+    ++stats_.ring_full_rejects;
+    return Status::Error(Errc::again, "descriptor RAM exhausted");
+  }
+
+  // Post the descriptor on the matching ring (functional bookkeeping).
+  Descriptor d;
+  d.length = static_cast<std::uint32_t>(bytes);
+  d.control = h2c_dir ? 0x1 : 0x2;
+  const Status posted = h2c_dir ? qs->post_h2c(d) : qs->post_c2h(d);
+  if (!posted.ok()) {
+    ++stats_.ring_full_rejects;
+    return posted;
+  }
+  ++outstanding_descriptors_;
+
+  if (h2c_dir) {
+    ++stats_.h2c_ops;
+    stats_.h2c_bytes += bytes;
+  } else {
+    ++stats_.c2h_ops;
+    stats_.c2h_bytes += bytes;
+  }
+
+  // Doorbell + descriptor fetch (RQ + DE), then PCIe serialization of the
+  // descriptor + payload, then the H2C/C2H engine slot, then CE writeback.
+  sim_.schedule_after(config_.doorbell_latency, [this, id, bytes, h2c_dir,
+                                                 done = std::move(done)]() mutable {
+    ++stats_.descriptors_fetched;
+    pcie_.transfer(bytes + kDescriptorBytes, [this, id, h2c_dir,
+                                              done = std::move(done)]() mutable {
+      auto& engine = h2c_dir ? h2c_engine_ : c2h_engine_;
+      engine.submit(config_.completion_latency, [this, id, h2c_dir,
+                                                 done = std::move(done)] {
+        QueueSet* qs = queue_set(id);
+        if (qs) {
+          // Consume the descriptor and post the completion entry.
+          auto desc = h2c_dir ? qs->fetch_h2c() : qs->fetch_c2h();
+          if (desc) qs->push_completion(*desc);
+        }
+        if (outstanding_descriptors_ > 0) --outstanding_descriptors_;
+        if (done) done();
+      });
+    });
+  });
+  return Status::Ok();
+}
+
+Status QdmaEngine::h2c(unsigned id, std::uint64_t bytes, sim::EventFn done) {
+  return dma(id, bytes, /*h2c_dir=*/true, std::move(done));
+}
+
+Status QdmaEngine::c2h(unsigned id, std::uint64_t bytes, sim::EventFn done) {
+  return dma(id, bytes, /*h2c_dir=*/false, std::move(done));
+}
+
+}  // namespace dk::fpga

@@ -1,0 +1,17 @@
+#include "fpga/u280.hpp"
+
+namespace dk::fpga {
+
+namespace {
+double pct(std::uint64_t used, std::uint64_t total) {
+  return total == 0 ? 0.0 : 100.0 * static_cast<double>(used) / static_cast<double>(total);
+}
+}  // namespace
+
+Utilization utilization(const Resources& used, const Resources& total) {
+  return {pct(used.luts, total.luts), pct(used.registers, total.registers),
+          pct(used.bram, total.bram), pct(used.uram, total.uram),
+          pct(used.dsp, total.dsp)};
+}
+
+}  // namespace dk::fpga

@@ -1,0 +1,74 @@
+// AMD Alveo U280 device model: resource inventory per Super Logic Region
+// (SLR) and whole-chip, as used for the Table III utilization accounting.
+//
+// Chip totals (paper §V.c): 1.3M LUTs, 2.72M registers, 9024 DSP slices,
+// 2016 BRAMs, 960 URAMs, split over three SLRs. SLR0 (the DFX region in
+// DeLiBA-K) holds 355K LUTs, 725K registers, 490 BRAM tiles, 320 URAMs and
+// 2733 DSPs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace dk::fpga {
+
+/// A bundle of FPGA fabric resources (counts, not percentages).
+struct Resources {
+  std::uint64_t luts = 0;
+  std::uint64_t registers = 0;
+  std::uint64_t bram = 0;   // 36Kb Block RAM tiles
+  std::uint64_t uram = 0;   // 288Kb UltraRAM blocks
+  std::uint64_t dsp = 0;
+
+  Resources operator+(const Resources& o) const {
+    return {luts + o.luts, registers + o.registers, bram + o.bram,
+            uram + o.uram, dsp + o.dsp};
+  }
+  Resources operator-(const Resources& o) const {
+    return {luts - o.luts, registers - o.registers, bram - o.bram,
+            uram - o.uram, dsp - o.dsp};
+  }
+  Resources& operator+=(const Resources& o) { return *this = *this + o; }
+
+  /// True when every component of `need` fits within *this.
+  bool fits(const Resources& need) const {
+    return need.luts <= luts && need.registers <= registers &&
+           need.bram <= bram && need.uram <= uram && need.dsp <= dsp;
+  }
+};
+
+/// Utilization of `used` against `total`, component-wise, in percent.
+struct Utilization {
+  double luts = 0, registers = 0, bram = 0, uram = 0, dsp = 0;
+};
+
+Utilization utilization(const Resources& used, const Resources& total);
+
+struct U280 {
+  /// Whole-chip inventory.
+  static constexpr Resources chip() {
+    return {1'304'000, 2'607'000, 2016, 960, 9024};
+  }
+
+  /// Per-SLR inventory. SLR0 figures are from the paper; SLR1/2 split the
+  /// remainder evenly.
+  static constexpr Resources slr(unsigned index) {
+    constexpr Resources slr0{355'000, 725'000, 490, 320, 2733};
+    if (index == 0) return slr0;
+    const Resources rest = {chip().luts - slr0.luts,
+                            chip().registers - slr0.registers,
+                            chip().bram - slr0.bram, chip().uram - slr0.uram,
+                            chip().dsp - slr0.dsp};
+    return {rest.luts / 2, rest.registers / 2, rest.bram / 2, rest.uram / 2,
+            rest.dsp / 2};
+  }
+
+  static constexpr unsigned kSlrCount = 3;
+
+  /// On-chip memory capacities (paper: 4.5 MB BRAM + 30 MB URAM per chip).
+  static constexpr std::uint64_t kBramBitsPerTile = 36 * 1024;
+  static constexpr std::uint64_t kUramBitsPerBlock = 288 * 1024;
+};
+
+}  // namespace dk::fpga

@@ -1,0 +1,110 @@
+#include "fpga/xbutil.hpp"
+
+#include <sstream>
+
+namespace dk::fpga {
+
+namespace {
+
+const char* state_name(RpState s) {
+  switch (s) {
+    case RpState::vacant: return "vacant";
+    case RpState::loading: return "loading";
+    case RpState::active: return "active";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string XbutilReport::examine(FpgaDevice& device) {
+  std::ostringstream os;
+  os << "Device: xilinx_u280 (XCU280-L2FSVH2892E, 16nm UltraScale+)\n";
+  os << "Shell : DeLiBA-K data-plane SmartNIC (QDMA + RTL TCP/IP + CMAC)\n";
+  os << "Clocks: accelerators " << kAccelClockHz / 1e6 << " MHz, CMAC "
+     << device.tcpip().config().cmac_clock_hz / 1e6 << " MHz\n";
+
+  // Resources.
+  const Resources used = device.static_region_used();
+  const auto chip_util = utilization(used, U280::chip());
+  os << "Static region: " << used.luts << " LUTs (" << chip_util.luts
+     << "% of chip), " << used.bram << " BRAM, " << used.uram << " URAM\n";
+
+  // DFX.
+  auto& dfx = device.dfx();
+  os << "DFX RP (SLR0): state=" << state_name(dfx.state());
+  if (dfx.active_rm()) os << ", RM=" << kernel_name(*dfx.active_rm());
+  os << ", reconfigurations=" << dfx.stats().reconfigurations << "\n";
+
+  // QDMA.
+  const auto& q = device.qdma().stats();
+  os << "QDMA: " << device.qdma().queue_set_count() << "/"
+     << device.qdma().config().max_queue_sets << " queue sets, H2C "
+     << q.h2c_ops << " ops/" << q.h2c_bytes << " B, C2H " << q.c2h_ops
+     << " ops/" << q.c2h_bytes << " B, descriptor fetches "
+     << q.descriptors_fetched << "\n";
+
+  // Kernels.
+  os << "Kernels:\n";
+  for (KernelKind kind : kAllKernels) {
+    os << "  " << kernel_name(kind) << ": "
+       << (device.dfx().kernel_available(kind) ? "resident" : "not loaded")
+       << ", ops=" << device.kernel(kind).ops_executed() << "\n";
+  }
+
+  // Power & thermals.
+  const double watts =
+      dfx.state() == RpState::active
+          ? device.power().full_load_with_pr(*dfx.active_rm())
+          : device.power().watts({KernelKind::straw, KernelKind::straw2,
+                                  KernelKind::rs_encoder});
+  os << "Power : " << watts << " W (est. junction "
+     << junction_celsius(watts) << " C)\n";
+  return os.str();
+}
+
+bool XbutilReport::validate(FpgaDevice& device, std::string* details) {
+  std::ostringstream os;
+  bool ok = true;
+
+  // Check 1: static region fits SLR1+SLR2.
+  const Resources cap = U280::slr(1) + U280::slr(2);
+  if (!cap.fits(device.static_region_used())) {
+    os << "FAIL: static region exceeds SLR1+SLR2\n";
+    ok = false;
+  } else {
+    os << "PASS: static region fits SLR1+SLR2\n";
+  }
+
+  // Check 2: every RM passes pr_verify.
+  for (const auto& e : device.dfx().pr_verify()) {
+    if (!e.fits_rp) {
+      os << "FAIL: RM " << kernel_name(e.kernel) << " exceeds the RP\n";
+      ok = false;
+    } else {
+      os << "PASS: pr_verify " << kernel_name(e.kernel) << "\n";
+    }
+  }
+
+  // Check 3: power within the U280 board budget (225 W max).
+  const double worst = device.power().full_load_no_pr();
+  if (worst > 225.0) {
+    os << "FAIL: full-load power " << worst << " W exceeds board budget\n";
+    ok = false;
+  } else {
+    os << "PASS: full-load power " << worst << " W within 225 W budget\n";
+  }
+
+  // Check 4: thermal headroom (junction below 100 C).
+  if (junction_celsius(worst) >= 100.0) {
+    os << "FAIL: junction estimate too hot\n";
+    ok = false;
+  } else {
+    os << "PASS: thermal headroom\n";
+  }
+
+  if (details) *details = os.str();
+  return ok;
+}
+
+}  // namespace dk::fpga

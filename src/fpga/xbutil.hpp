@@ -1,0 +1,29 @@
+// xbutil-style device status report (§V.c: the authors use Xilinx xbutil /
+// xbtest for final power measurement and card validation). Produces a
+// human-readable dump of the modeled card: shell info, clocks, resource
+// utilization, DFX state, QDMA queue statistics, power and a first-order
+// thermal estimate.
+#pragma once
+
+#include <string>
+
+#include "fpga/device.hpp"
+
+namespace dk::fpga {
+
+struct XbutilReport {
+  /// `xbutil examine`-like text for the whole card.
+  static std::string examine(FpgaDevice& device);
+
+  /// `xbutil validate`-like checks: returns true when every check passes
+  /// (resource fit, pr_verify, clock sanity, power within board budget).
+  static bool validate(FpgaDevice& device, std::string* details = nullptr);
+
+  /// First-order thermal model: FPGA junction temperature estimate from
+  /// board power (actively-cooled U280 in a server chassis: ~0.3 C/W above 35 C inlet).
+  static double junction_celsius(double watts) {
+    return 35.0 + 0.30 * watts;
+  }
+};
+
+}  // namespace dk::fpga

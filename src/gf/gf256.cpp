@@ -1,0 +1,72 @@
+#include "gf/gf256.hpp"
+
+#include <cassert>
+
+namespace dk::gf {
+
+namespace {
+
+// Per-coefficient 256-entry product table, built lazily per call site would
+// be wasteful; instead we precompute all 256 rows once (64 KiB), which is
+// how high-throughput software RS implementations (ISA-L, jerasure with
+// GF_MULT_TABLE) structure the hot loop.
+struct MulTable {
+  std::array<std::array<std::uint8_t, 256>, 256> row{};
+  MulTable() {
+    for (unsigned a = 0; a < 256; ++a)
+      for (unsigned b = 0; b < 256; ++b)
+        row[a][b] =
+            mul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b));
+  }
+};
+
+const MulTable& mul_table() {
+  static const MulTable t;
+  return t;
+}
+
+}  // namespace
+
+void mul_add_region(std::uint8_t c, std::span<const std::uint8_t> src,
+                    std::span<std::uint8_t> dst) {
+  assert(src.size() == dst.size());
+  if (c == 0) return;
+  if (c == 1) {
+    xor_region(src, dst);
+    return;
+  }
+  const auto& row = mul_table().row[c];
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] ^= row[src[i]];
+}
+
+void mul_region(std::uint8_t c, std::span<const std::uint8_t> src,
+                std::span<std::uint8_t> dst) {
+  assert(src.size() == dst.size());
+  if (c == 0) {
+    for (auto& b : dst) b = 0;
+    return;
+  }
+  if (c == 1) {
+    for (std::size_t i = 0; i < src.size(); ++i) dst[i] = src[i];
+    return;
+  }
+  const auto& row = mul_table().row[c];
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] = row[src[i]];
+}
+
+void xor_region(std::span<const std::uint8_t> src,
+                std::span<std::uint8_t> dst) {
+  assert(src.size() == dst.size());
+  std::size_t i = 0;
+  // Word-at-a-time XOR for the bulk of the region.
+  for (; i + 8 <= src.size(); i += 8) {
+    std::uint64_t a, b;
+    __builtin_memcpy(&a, src.data() + i, 8);
+    __builtin_memcpy(&b, dst.data() + i, 8);
+    b ^= a;
+    __builtin_memcpy(dst.data() + i, &b, 8);
+  }
+  for (; i < src.size(); ++i) dst[i] ^= src[i];
+}
+
+}  // namespace dk::gf

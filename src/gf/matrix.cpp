@@ -1,0 +1,128 @@
+#include "gf/matrix.hpp"
+
+#include <cassert>
+
+#include "gf/gf256.hpp"
+
+namespace dk::gf {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+Matrix Matrix::systematic_vandermonde(std::size_t k, std::size_t m) {
+  assert(k + m <= kFieldSize);
+  // Build the (k+m) x k Vandermonde matrix V[i][j] = i^j (row 0 -> e_0).
+  Matrix v(k + m, k);
+  for (std::size_t i = 0; i < k + m; ++i)
+    for (std::size_t j = 0; j < k; ++j)
+      v.at(i, j) = pow(static_cast<std::uint8_t>(i), static_cast<unsigned>(j));
+
+  // Column-eliminate so the top k x k block becomes the identity; the
+  // remaining m rows are the systematic parity generator. Column operations
+  // preserve the MDS property (any k rows remain linearly independent).
+  for (std::size_t c = 0; c < k; ++c) {
+    // Ensure pivot v[c][c] != 0 by swapping columns if needed.
+    if (v.at(c, c) == 0) {
+      for (std::size_t c2 = c + 1; c2 < k; ++c2) {
+        if (v.at(c, c2) != 0) {
+          for (std::size_t r = 0; r < k + m; ++r)
+            std::swap(v.at(r, c), v.at(r, c2));
+          break;
+        }
+      }
+    }
+    assert(v.at(c, c) != 0 && "Vandermonde pivot must be nonzero");
+    // Scale column c so pivot becomes 1.
+    const std::uint8_t piv_inv = inv(v.at(c, c));
+    for (std::size_t r = 0; r < k + m; ++r)
+      v.at(r, c) = mul(v.at(r, c), piv_inv);
+    // Zero out the rest of row c via column additions.
+    for (std::size_t c2 = 0; c2 < k; ++c2) {
+      if (c2 == c) continue;
+      const std::uint8_t f = v.at(c, c2);
+      if (f == 0) continue;
+      for (std::size_t r = 0; r < k + m; ++r)
+        v.at(r, c2) = add(v.at(r, c2), mul(f, v.at(r, c)));
+    }
+  }
+  return v;
+}
+
+Matrix Matrix::cauchy(std::size_t k, std::size_t m) {
+  assert(k + m <= kFieldSize);
+  // x_i = i (i in [0,m)), y_j = m + j (j in [0,k)): disjoint by construction.
+  Matrix g(k + m, k);
+  for (std::size_t i = 0; i < k; ++i) g.at(i, i) = 1;  // systematic top block
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < k; ++j)
+      g.at(k + i, j) = inv(add(static_cast<std::uint8_t>(i),
+                               static_cast<std::uint8_t>(m + j)));
+  return g;
+}
+
+Matrix Matrix::multiply(const Matrix& rhs) const {
+  assert(cols_ == rhs.rows_);
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) {
+      const std::uint8_t a = at(i, j);
+      if (a == 0) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c)
+        out.at(i, c) = add(out.at(i, c), mul(a, rhs.at(j, c)));
+    }
+  return out;
+}
+
+Result<Matrix> Matrix::inverted() const {
+  if (rows_ != cols_)
+    return Status::Error(Errc::invalid_argument, "matrix not square");
+  const std::size_t n = rows_;
+  Matrix a = *this;
+  Matrix inv_m = identity(n);
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Find pivot.
+    std::size_t piv = col;
+    while (piv < n && a.at(piv, col) == 0) ++piv;
+    if (piv == n)
+      return Status::Error(Errc::corrupted, "singular matrix over GF(256)");
+    if (piv != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(a.at(piv, c), a.at(col, c));
+        std::swap(inv_m.at(piv, c), inv_m.at(col, c));
+      }
+    }
+    // Normalize pivot row.
+    const std::uint8_t piv_inv = inv(a.at(col, col));
+    for (std::size_t c = 0; c < n; ++c) {
+      a.at(col, c) = mul(a.at(col, c), piv_inv);
+      inv_m.at(col, c) = mul(inv_m.at(col, c), piv_inv);
+    }
+    // Eliminate other rows.
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const std::uint8_t f = a.at(r, col);
+      if (f == 0) continue;
+      for (std::size_t c = 0; c < n; ++c) {
+        a.at(r, c) = add(a.at(r, c), mul(f, a.at(col, c)));
+        inv_m.at(r, c) = add(inv_m.at(r, c), mul(f, inv_m.at(col, c)));
+      }
+    }
+  }
+  return inv_m;
+}
+
+Matrix Matrix::select_rows(const std::vector<std::size_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    assert(indices[i] < rows_);
+    for (std::size_t c = 0; c < cols_; ++c)
+      out.at(i, c) = at(indices[i], c);
+  }
+  return out;
+}
+
+}  // namespace dk::gf

@@ -1,0 +1,57 @@
+// Dense matrices over GF(2^8): the linear-algebra layer under Reed-Solomon
+// encoding (Vandermonde / Cauchy generator matrices) and decoding (Gaussian
+// inversion of the surviving-row submatrix).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace dk::gf {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  std::uint8_t& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  std::uint8_t at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  const std::uint8_t* row(std::size_t r) const { return &data_[r * cols_]; }
+  std::uint8_t* row(std::size_t r) { return &data_[r * cols_]; }
+
+  static Matrix identity(std::size_t n);
+
+  /// k x k Vandermonde matrix rows evaluated at distinct points, then
+  /// systematized: V[i][j] = alpha_i^j with alpha_i distinct. Rows beyond k
+  /// produce parity. Matches jerasure's rs_vandermonde construction after
+  /// elimination so the top k x k block is the identity.
+  static Matrix systematic_vandermonde(std::size_t k, std::size_t m);
+
+  /// Cauchy generator: C[i][j] = 1 / (x_i + y_j), x/y disjoint sets.
+  static Matrix cauchy(std::size_t k, std::size_t m);
+
+  Matrix multiply(const Matrix& rhs) const;
+
+  /// In-place Gauss-Jordan inversion. Fails if singular.
+  Result<Matrix> inverted() const;
+
+  /// Select the given rows into a new matrix.
+  Matrix select_rows(const std::vector<std::size_t>& indices) const;
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace dk::gf

@@ -1,0 +1,119 @@
+#include "host/rbd.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dk::host {
+
+RbdDevice::RbdDevice(rados::RadosClient& client, RbdImageSpec spec)
+    : client_(client), spec_(spec) {
+  assert(spec_.object_size > 0);
+}
+
+std::vector<RbdDevice::Extent> RbdDevice::extents(std::uint64_t offset,
+                                                  std::uint64_t length) const {
+  std::vector<Extent> out;
+  while (length > 0) {
+    const std::uint64_t obj_off = offset % spec_.object_size;
+    const std::uint64_t in_obj =
+        std::min<std::uint64_t>(length, spec_.object_size - obj_off);
+    out.push_back(Extent{oid_of(offset), obj_off, in_obj});
+    offset += in_obj;
+    length -= in_obj;
+  }
+  return out;
+}
+
+void RbdDevice::aio_write(std::uint64_t offset, std::vector<std::uint8_t> data,
+                          rados::WriteStrategy strategy,
+                          std::function<void(std::int32_t)> cb) {
+  if (offset + data.size() > spec_.size_bytes) {
+    cb(-static_cast<std::int32_t>(Errc::out_of_range));
+    return;
+  }
+  ++stats_.writes;
+  stats_.bytes_written += data.size();
+  auto exts = extents(offset, data.size());
+  assert(!exts.empty());
+  stats_.object_ops += exts.size();
+
+  struct State {
+    unsigned remaining;
+    std::int32_t total = 0;
+    std::int32_t first_error = 0;
+    std::function<void(std::int32_t)> cb;
+  };
+  auto state = std::make_shared<State>();
+  state->remaining = static_cast<unsigned>(exts.size());
+  state->cb = std::move(cb);
+
+  std::uint64_t consumed = 0;
+  for (const Extent& e : exts) {
+    std::vector<std::uint8_t> part(
+        data.begin() + static_cast<std::ptrdiff_t>(consumed),
+        data.begin() + static_cast<std::ptrdiff_t>(consumed + e.len));
+    consumed += e.len;
+    const auto len = static_cast<std::int32_t>(e.len);
+    client_.write(spec_.pool, e.oid, e.obj_off, std::move(part), strategy,
+                  [state, len](Status s) {
+                    if (!s.ok()) {
+                      if (state->first_error == 0)
+                        state->first_error =
+                            -static_cast<std::int32_t>(s.code());
+                    } else {
+                      state->total += len;
+                    }
+                    if (--state->remaining == 0)
+                      state->cb(state->first_error ? state->first_error
+                                                   : state->total);
+                  });
+  }
+}
+
+void RbdDevice::aio_read(
+    std::uint64_t offset, std::uint64_t length, rados::ReadStrategy strategy,
+    std::function<void(Result<std::vector<std::uint8_t>>)> cb) {
+  if (offset + length > spec_.size_bytes) {
+    cb(Status::Error(Errc::out_of_range, "read beyond image end"));
+    return;
+  }
+  ++stats_.reads;
+  stats_.bytes_read += length;
+  auto exts = extents(offset, length);
+  assert(!exts.empty());
+  stats_.object_ops += exts.size();
+
+  struct State {
+    unsigned remaining;
+    std::vector<std::vector<std::uint8_t>> parts;
+    Status first_error;
+    std::function<void(Result<std::vector<std::uint8_t>>)> cb;
+  };
+  auto state = std::make_shared<State>();
+  state->remaining = static_cast<unsigned>(exts.size());
+  state->parts.resize(exts.size());
+  state->cb = std::move(cb);
+
+  for (std::size_t i = 0; i < exts.size(); ++i) {
+    const Extent& e = exts[i];
+    client_.read(spec_.pool, e.oid, e.obj_off, e.len, strategy,
+                 [state, i](Result<std::vector<std::uint8_t>> r) {
+                   if (r.ok())
+                     state->parts[i] = std::move(*r);
+                   else if (state->first_error.ok())
+                     state->first_error = r.status();
+                   if (--state->remaining == 0) {
+                     if (!state->first_error.ok()) {
+                       state->cb(state->first_error);
+                       return;
+                     }
+                     std::vector<std::uint8_t> all;
+                     for (auto& p : state->parts)
+                       all.insert(all.end(), p.begin(), p.end());
+                     state->cb(std::move(all));
+                   }
+                 });
+  }
+}
+
+}  // namespace dk::host

@@ -1,0 +1,61 @@
+#include "host/uifd.hpp"
+
+#include <cassert>
+#include <memory>
+
+namespace dk::host {
+
+UifdDriver::UifdDriver(fpga::FpgaDevice& device, UifdConfig config,
+                       RemoteIoFn remote)
+    : device_(device), config_(config), remote_(std::move(remote)) {
+  assert(config_.nr_hw_queues >= 1);
+  for (unsigned q = 0; q < config_.nr_hw_queues; ++q) {
+    auto id = device_.qdma().alloc_queue_set(config_.queue_class,
+                                             config_.virtual_function);
+    assert(id.ok() && "QDMA queue sets exhausted");
+    queue_sets_.push_back(*id);
+  }
+}
+
+void UifdDriver::queue_rq(blk::Request request) {
+  const unsigned qs = queue_set_for(request);
+  // Requests are move-captured through the async chain; share them so both
+  // the DMA completion and the remote completion see the same object.
+  auto req = std::make_shared<blk::Request>(std::move(request));
+
+  if (req->op == blk::ReqOp::write || req->op == blk::ReqOp::flush) {
+    ++stats_.writes;
+    stats_.h2c_bytes += req->len;
+    // Host-to-card payload DMA, then the storage-side pipeline.
+    const Status s = device_.qdma().h2c(qs, req->len, [this, req] {
+      remote_(*req, [this, req](std::int32_t res) {
+        if (res < 0) ++stats_.errors;
+        req->complete(res);
+      });
+    });
+    if (!s.ok()) {
+      ++stats_.errors;
+      req->complete(-static_cast<std::int32_t>(s.code()));
+    }
+    return;
+  }
+
+  ++stats_.reads;
+  // Storage-side fetch first, then card-to-host payload DMA.
+  remote_(*req, [this, qs, req](std::int32_t res) {
+    if (res < 0) {
+      ++stats_.errors;
+      req->complete(res);
+      return;
+    }
+    stats_.c2h_bytes += req->len;
+    const Status s = device_.qdma().c2h(
+        qs, req->len, [req, res] { req->complete(res); });
+    if (!s.ok()) {
+      ++stats_.errors;
+      req->complete(-static_cast<std::int32_t>(s.code()));
+    }
+  });
+}
+
+}  // namespace dk::host

@@ -1,0 +1,68 @@
+// UIFD — the DeLiBA-K Unified I/O FPGA Driver (§III-B).
+//
+// Sits under the DMQ block layer as its blk::Driver: for each dispatched
+// request it allocates work on the QDMA engine (H2C DMA for write payloads,
+// C2H DMA for read payloads), then hands the storage-side execution to a
+// pluggable remote-I/O functor (the FPGA's CRUSH/EC accelerators + TCP/IP
+// offload + cluster, wired up by the framework in src/core).
+//
+// One QDMA queue set is allocated per hardware queue, classed replication
+// or erasure-coding; each io_uring instance's CPU maps to one hardware
+// queue maps to one queue set, giving the per-core end-to-end alignment the
+// paper describes. SR-IOV: a UIFD instance can be bound to a QDMA virtual
+// function, giving tenants isolated queue sets (thin-hypervisor model).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "blk/mq.hpp"
+#include "fpga/device.hpp"
+
+namespace dk::host {
+
+struct UifdConfig {
+  unsigned nr_hw_queues = 3;
+  fpga::QueueClass queue_class = fpga::QueueClass::replication;
+  unsigned virtual_function = 0;  // SR-IOV VF (0 == physical function)
+};
+
+struct UifdStats {
+  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t h2c_bytes = 0;
+  std::uint64_t c2h_bytes = 0;
+  std::uint64_t errors = 0;
+};
+
+/// Storage-side executor: performs the remote part of the request (card ->
+/// network -> OSDs -> card) and reports bytes-done or negative error.
+using RemoteIoFn =
+    std::function<void(const blk::Request&, std::function<void(std::int32_t)>)>;
+
+class UifdDriver final : public blk::Driver {
+ public:
+  UifdDriver(fpga::FpgaDevice& device, UifdConfig config, RemoteIoFn remote);
+
+  const UifdConfig& config() const { return config_; }
+  const UifdStats& stats() const { return stats_; }
+  const std::vector<unsigned>& queue_sets() const { return queue_sets_; }
+
+  /// blk::Driver: writes DMA host->card first, then run remotely; reads run
+  /// remotely first, then DMA card->host.
+  void queue_rq(blk::Request request) override;
+
+ private:
+  unsigned queue_set_for(const blk::Request& request) const {
+    return queue_sets_[request.hw_queue % queue_sets_.size()];
+  }
+
+  fpga::FpgaDevice& device_;
+  UifdConfig config_;
+  RemoteIoFn remote_;
+  std::vector<unsigned> queue_sets_;
+  UifdStats stats_;
+};
+
+}  // namespace dk::host

@@ -1,0 +1,298 @@
+#include "rados/client.hpp"
+
+#include <cassert>
+
+namespace dk::rados {
+
+RadosClient::RadosClient(Cluster& cluster) : cluster_(cluster) {
+  cluster_.set_client_handler(
+      [this](std::shared_ptr<OpBody> body) { on_reply(std::move(body)); });
+}
+
+const ec::ReedSolomon& RadosClient::codec(unsigned k, unsigned m) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(k) << 32) | m;
+  auto it = codecs_.find(key);
+  if (it == codecs_.end()) {
+    it = codecs_
+             .emplace(key, std::make_unique<ec::ReedSolomon>(ec::Profile{
+                               k, m, ec::GeneratorKind::vandermonde}))
+             .first;
+  }
+  return *it->second;
+}
+
+void RadosClient::write(int pool, std::uint64_t oid, std::uint64_t offset,
+                        std::vector<std::uint8_t> data, WriteStrategy strategy,
+                        WriteCallback cb) {
+  const auto& p = cluster_.pool(pool);
+  auto acting = cluster_.acting_set(pool, oid, &work_);
+  if (acting.size() < p.fanout()) {
+    cb(Status::Error(Errc::no_space, "not enough OSDs in acting set"));
+    return;
+  }
+  if (p.mode == PoolConfig::Mode::replicated) {
+    write_replicated(pool, oid, offset, std::move(data), acting, strategy,
+                     std::move(cb));
+  } else {
+    write_ec(pool, oid, offset, std::move(data), acting, strategy,
+             std::move(cb));
+  }
+}
+
+void RadosClient::write_replicated(int pool, std::uint64_t oid,
+                                   std::uint64_t offset,
+                                   std::vector<std::uint8_t> data,
+                                   const std::vector<int>& acting,
+                                   WriteStrategy strategy, WriteCallback cb) {
+  const std::uint64_t op_id = next_op_id_++;
+  Pending pend;
+  pend.wcb = std::move(cb);
+
+  if (strategy == WriteStrategy::primary_copy) {
+    pend.awaiting = 1;
+    pending_.emplace(op_id, std::move(pend));
+    auto body = std::make_shared<OpBody>();
+    body->type = OpType::client_write;
+    body->op_id = op_id;
+    body->key = ObjectKey{static_cast<std::uint32_t>(pool), oid, -1};
+    body->offset = offset;
+    body->data = std::move(data);
+    body->replicas.assign(acting.begin() + 1, acting.end());
+    cluster_.send_from_client(acting[0], std::move(body));
+    return;
+  }
+
+  // client_fanout: one direct copy per replica, acked independently.
+  pend.awaiting = static_cast<unsigned>(acting.size());
+  pending_.emplace(op_id, std::move(pend));
+  for (int osd : acting) {
+    auto body = std::make_shared<OpBody>();
+    body->type = OpType::shard_write;
+    body->op_id = op_id;
+    body->key = ObjectKey{static_cast<std::uint32_t>(pool), oid, -1};
+    body->offset = offset;
+    body->data = data;  // full copy per replica, as the QDMA engine emits
+    body->reply_osd = -1;
+    cluster_.send_from_client(osd, std::move(body));
+  }
+}
+
+void RadosClient::write_ec(int pool, std::uint64_t oid, std::uint64_t offset,
+                           std::vector<std::uint8_t> data,
+                           const std::vector<int>& acting,
+                           WriteStrategy strategy, WriteCallback cb) {
+  const auto& profile = cluster_.pool(pool).ec_profile;
+  const unsigned k = profile.k, m = profile.m;
+  if (offset % k != 0) {
+    cb(Status::Error(Errc::invalid_argument,
+                     "EC write offset must be k-aligned"));
+    return;
+  }
+  const std::uint64_t op_id = next_op_id_++;
+  Pending pend;
+  pend.wcb = std::move(cb);
+
+  if (strategy == WriteStrategy::primary_copy) {
+    pend.awaiting = 1;
+    pending_.emplace(op_id, std::move(pend));
+    auto body = std::make_shared<OpBody>();
+    body->type = OpType::ec_primary_write;
+    body->op_id = op_id;
+    body->key = ObjectKey{static_cast<std::uint32_t>(pool), oid, -1};
+    body->offset = offset;
+    body->data = std::move(data);
+    body->replicas = acting;
+    body->ec_k = k;
+    body->ec_m = m;
+    cluster_.send_from_client(acting[0], std::move(body));
+    return;
+  }
+
+  // client_fanout: encode locally (functionally — the time cost is charged
+  // by the framework variant, in software or on the FPGA model), then put
+  // each shard on the wire directly.
+  const auto& rs = codec(k, m);
+  ec_encoded_ += data.size();
+  auto chunks = rs.split(data);
+  auto coding = rs.encode(chunks);
+  assert(coding.ok());
+  for (auto& c : *coding) chunks.push_back(std::move(c));
+
+  pend.awaiting = static_cast<unsigned>(chunks.size());
+  pending_.emplace(op_id, std::move(pend));
+  const std::uint64_t shard_off = offset / k;
+  for (unsigned s = 0; s < chunks.size(); ++s) {
+    auto body = std::make_shared<OpBody>();
+    body->type = OpType::shard_write;
+    body->op_id = op_id;
+    body->key = ObjectKey{static_cast<std::uint32_t>(pool), oid,
+                          static_cast<std::int32_t>(s)};
+    body->offset = shard_off;
+    body->data = std::move(chunks[s]);
+    body->reply_osd = -1;
+    cluster_.send_from_client(acting[s], std::move(body));
+  }
+}
+
+void RadosClient::read(int pool, std::uint64_t oid, std::uint64_t offset,
+                       std::uint64_t length, ReadStrategy strategy,
+                       ReadCallback cb) {
+  const auto& p = cluster_.pool(pool);
+  auto acting = cluster_.acting_set(pool, oid, &work_);
+  if (acting.empty()) {
+    cb(Status::Error(Errc::not_found, "empty acting set"));
+    return;
+  }
+  if (p.mode == PoolConfig::Mode::replicated) {
+    read_replicated(pool, oid, offset, length, acting, std::move(cb));
+  } else {
+    read_ec(pool, oid, offset, length, acting, strategy, std::move(cb));
+  }
+}
+
+void RadosClient::read_replicated(int pool, std::uint64_t oid,
+                                  std::uint64_t offset, std::uint64_t length,
+                                  const std::vector<int>& acting,
+                                  ReadCallback cb) {
+  const std::uint64_t op_id = next_op_id_++;
+  Pending pend;
+  pend.is_read = true;
+  pend.awaiting = 1;
+  pend.rcb = std::move(cb);
+  pending_.emplace(op_id, std::move(pend));
+
+  auto body = std::make_shared<OpBody>();
+  body->type = OpType::client_read;
+  body->op_id = op_id;
+  body->key = ObjectKey{static_cast<std::uint32_t>(pool), oid, -1};
+  body->offset = offset;
+  body->length = length;
+  cluster_.send_from_client(acting[0], std::move(body));
+}
+
+void RadosClient::read_ec(int pool, std::uint64_t oid, std::uint64_t offset,
+                          std::uint64_t length, const std::vector<int>& acting,
+                          ReadStrategy strategy, ReadCallback cb) {
+  const auto& profile = cluster_.pool(pool).ec_profile;
+  const unsigned k = profile.k, m = profile.m;
+  if (offset % k != 0) {
+    cb(Status::Error(Errc::invalid_argument,
+                     "EC read offset must be k-aligned"));
+    return;
+  }
+
+  if (strategy == ReadStrategy::primary) {
+    const std::uint64_t op_id = next_op_id_++;
+    Pending pend;
+    pend.is_read = true;
+    pend.awaiting = 1;
+    pend.rcb = std::move(cb);
+    pending_.emplace(op_id, std::move(pend));
+    auto body = std::make_shared<OpBody>();
+    body->type = OpType::ec_primary_read;
+    body->op_id = op_id;
+    body->key = ObjectKey{static_cast<std::uint32_t>(pool), oid, -1};
+    body->offset = offset;
+    body->length = length;
+    body->replicas = acting;
+    body->ec_k = k;
+    body->ec_m = m;
+    cluster_.send_from_client(acting[0], std::move(body));
+    return;
+  }
+
+  // direct_shards: fetch any k alive shards in parallel; prefer the k data
+  // shards so the healthy path needs no decode.
+  std::vector<unsigned> shards;
+  for (unsigned s = 0; s < acting.size() && shards.size() < k; ++s)
+    if (!cluster_.osd_down(acting[s])) shards.push_back(s);
+  if (shards.size() < k) {
+    cb(Status::Error(Errc::io_error, "fewer than k shards available"));
+    return;
+  }
+
+  const std::uint64_t op_id = next_op_id_++;
+  Pending pend;
+  pend.is_read = true;
+  pend.awaiting = k;
+  pend.k = k;
+  pend.m = m;
+  pend.length = length;
+  pend.chunks.resize(k + m);
+  pend.rcb = std::move(cb);
+  pending_.emplace(op_id, std::move(pend));
+
+  const std::uint64_t chunk_len = (length + k - 1) / k;
+  const std::uint64_t shard_off = offset / k;
+  for (unsigned s : shards) {
+    auto body = std::make_shared<OpBody>();
+    body->type = OpType::shard_read;
+    body->op_id = op_id;
+    body->key = ObjectKey{static_cast<std::uint32_t>(pool), oid,
+                          static_cast<std::int32_t>(s)};
+    body->offset = shard_off;
+    body->length = chunk_len;
+    body->reply_osd = -1;
+    cluster_.send_from_client(acting[s], std::move(body));
+  }
+}
+
+void RadosClient::on_reply(std::shared_ptr<OpBody> body) {
+  auto it = pending_.find(body->op_id);
+  if (it == pending_.end()) return;  // stale/duplicate
+  Pending& pend = it->second;
+
+  if (body->type == OpType::shard_data) {
+    const auto shard = static_cast<std::size_t>(body->key.shard);
+    assert(shard < pend.chunks.size());
+    pend.chunks[shard] = std::move(body->data);
+  }
+  if (--pend.awaiting != 0) return;
+
+  ++completed_;
+  if (!pend.is_read) {
+    auto cb = std::move(pend.wcb);
+    pending_.erase(it);
+    cb(Status::Ok());
+    return;
+  }
+
+  // Reads: either a direct reply with data, or gathered EC shards.
+  if (body->type == OpType::reply_read) {
+    auto cb = std::move(pend.rcb);
+    auto data = std::move(body->data);
+    pending_.erase(it);
+    cb(std::move(data));
+    return;
+  }
+
+  // EC gather completion: decode when any data shard is missing.
+  const unsigned k = pend.k, m = pend.m;
+  bool all_data = true;
+  for (unsigned s = 0; s < k; ++s)
+    if (!pend.chunks[s]) {
+      all_data = false;
+      break;
+    }
+  const auto& rs = codec(k, m);
+  std::vector<std::uint8_t> out;
+  if (all_data) {
+    std::vector<ec::Chunk> data;
+    for (unsigned s = 0; s < k; ++s) data.push_back(std::move(*pend.chunks[s]));
+    out = rs.assemble(data, pend.length);
+  } else {
+    auto decoded = rs.decode(pend.chunks);
+    if (!decoded.ok()) {
+      auto cb = std::move(pend.rcb);
+      pending_.erase(it);
+      cb(decoded.status());
+      return;
+    }
+    out = rs.assemble(*decoded, pend.length);
+  }
+  auto cb = std::move(pend.rcb);
+  pending_.erase(it);
+  cb(std::move(out));
+}
+
+}  // namespace dk::rados

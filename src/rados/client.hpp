@@ -1,0 +1,105 @@
+// Asynchronous RADOS-like client bound to the cluster's client node.
+//
+// Two strategies per operation, matching the two architectures the paper
+// compares:
+//
+//   Writes:
+//     primary_copy  — classic Ceph: one message to the primary OSD, which
+//                     fans out to replicas (or encodes EC shards) itself.
+//     client_fanout — DeLiBA-K hardware path: the client-side accelerator
+//                     replicates/encodes and puts every copy/shard on the
+//                     wire directly, removing the primary round trip.
+//   Reads:
+//     primary       — classic Ceph: primary serves the read (gathering EC
+//                     shards itself when needed).
+//     direct_shards — DeLiBA-K hardware path: the client fetches the k data
+//                     shards (EC) in parallel and reassembles locally,
+//                     decoding via Reed-Solomon when shards are down.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/status.hpp"
+#include "ec/reed_solomon.hpp"
+#include "rados/cluster.hpp"
+
+namespace dk::rados {
+
+enum class WriteStrategy { primary_copy, client_fanout };
+enum class ReadStrategy { primary, direct_shards };
+
+using WriteCallback = std::function<void(Status)>;
+using ReadCallback = std::function<void(Result<std::vector<std::uint8_t>>)>;
+
+class RadosClient {
+ public:
+  explicit RadosClient(Cluster& cluster);
+
+  RadosClient(const RadosClient&) = delete;
+  RadosClient& operator=(const RadosClient&) = delete;
+
+  /// Asynchronously write `data` at `offset` of object (pool, oid).
+  /// For EC pools, `offset` must be a multiple of the profile's k.
+  void write(int pool, std::uint64_t oid, std::uint64_t offset,
+             std::vector<std::uint8_t> data, WriteStrategy strategy,
+             WriteCallback cb);
+
+  /// Asynchronously read `length` bytes at `offset`.
+  void read(int pool, std::uint64_t oid, std::uint64_t offset,
+            std::uint64_t length, ReadStrategy strategy, ReadCallback cb);
+
+  /// CRUSH placement work performed by this client since construction —
+  /// the compute the FPGA bucket kernels offload in hardware variants.
+  const crush::PlacementWork& placement_work() const { return work_; }
+
+  /// Bytes Reed-Solomon-encoded client-side (client_fanout EC writes) —
+  /// the compute the RS Encoder kernel offloads in hardware variants.
+  std::uint64_t ec_bytes_encoded() const { return ec_encoded_; }
+
+  std::uint64_t ops_completed() const { return completed_; }
+  std::uint64_t ops_in_flight() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    unsigned awaiting = 0;
+    bool is_read = false;
+    // EC read gather state.
+    unsigned k = 0, m = 0;
+    std::uint64_t length = 0;
+    std::vector<std::optional<ec::Chunk>> chunks;
+    WriteCallback wcb;
+    ReadCallback rcb;
+  };
+
+  void on_reply(std::shared_ptr<OpBody> body);
+  const ec::ReedSolomon& codec(unsigned k, unsigned m);
+
+  void write_replicated(int pool, std::uint64_t oid, std::uint64_t offset,
+                        std::vector<std::uint8_t> data,
+                        const std::vector<int>& acting, WriteStrategy strategy,
+                        WriteCallback cb);
+  void write_ec(int pool, std::uint64_t oid, std::uint64_t offset,
+                std::vector<std::uint8_t> data, const std::vector<int>& acting,
+                WriteStrategy strategy, WriteCallback cb);
+  void read_replicated(int pool, std::uint64_t oid, std::uint64_t offset,
+                       std::uint64_t length, const std::vector<int>& acting,
+                       ReadCallback cb);
+  void read_ec(int pool, std::uint64_t oid, std::uint64_t offset,
+               std::uint64_t length, const std::vector<int>& acting,
+               ReadStrategy strategy, ReadCallback cb);
+
+  Cluster& cluster_;
+  std::uint64_t next_op_id_ = 1;
+  std::map<std::uint64_t, Pending> pending_;
+  std::map<std::uint64_t, std::unique_ptr<ec::ReedSolomon>> codecs_;
+  crush::PlacementWork work_;
+  std::uint64_t ec_encoded_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace dk::rados

@@ -1,0 +1,200 @@
+#include "rados/cluster.hpp"
+
+#include <cassert>
+
+#include "crush/hash.hpp"
+
+namespace dk::rados {
+
+Cluster::Cluster(sim::Simulator& sim, ClusterConfig config)
+    : sim_(sim),
+      config_(config),
+      net_(sim, config.fabric),
+      layout_(crush::build_cluster(config.crush)) {
+  // Client node 0.
+  client_node_ = net_.add_node("client", [this](const net::Message& m) {
+    assert(client_handler_ && "client handler not registered");
+    client_handler_(std::static_pointer_cast<OpBody>(m.body));
+  });
+
+  // One network node per server host; delivery dispatches on target_osd.
+  for (unsigned h = 0; h < config_.crush.hosts; ++h) {
+    server_nodes_.push_back(net_.add_node(
+        "server" + std::to_string(h), [this](const net::Message& m) {
+          auto body = std::static_pointer_cast<OpBody>(m.body);
+          assert(body->target_osd >= 0 &&
+                 static_cast<std::size_t>(body->target_osd) < osds_.size());
+          osds_[static_cast<std::size_t>(body->target_osd)]->handle(body);
+        }));
+  }
+
+  // OSDs, 16 per host by default, pinned to their host's network node.
+  const unsigned total = config_.crush.hosts * config_.crush.osds_per_host;
+  down_.assign(total, false);
+  for (unsigned i = 0; i < total; ++i) {
+    auto osd = std::make_unique<Osd>(sim_, static_cast<int>(i), config_.osd,
+                                     config_.seed * 7919 + i);
+    const int id = static_cast<int>(i);
+    osd->set_sender([this, id](int dst, std::shared_ptr<OpBody> body) {
+      send_from_osd(id, dst, std::move(body));
+    });
+    osds_.push_back(std::move(osd));
+    osd_nodes_.push_back(server_nodes_[i / config_.crush.osds_per_host]);
+  }
+}
+
+int Cluster::create_replicated_pool(std::string name, unsigned size,
+                                    unsigned pg_num) {
+  PoolConfig p;
+  p.name = std::move(name);
+  p.mode = PoolConfig::Mode::replicated;
+  p.size = size;
+  p.pg_num = pg_num;
+  p.crush_rule = layout_.replicated_rule;
+  pools_.push_back(std::move(p));
+  return static_cast<int>(pools_.size() - 1);
+}
+
+int Cluster::create_ec_pool(std::string name, ec::Profile profile,
+                            unsigned pg_num) {
+  PoolConfig p;
+  p.name = std::move(name);
+  p.mode = PoolConfig::Mode::erasure;
+  p.ec_profile = profile;
+  p.pg_num = pg_num;
+  p.crush_rule = layout_.ec_rule;
+  pools_.push_back(std::move(p));
+  return static_cast<int>(pools_.size() - 1);
+}
+
+std::uint32_t Cluster::pg_of(int pool, std::uint64_t oid) const {
+  const auto& p = pools_[static_cast<std::size_t>(pool)];
+  const std::uint32_t h = crush::hash32_2(static_cast<std::uint32_t>(oid),
+                                          static_cast<std::uint32_t>(oid >> 32));
+  return h % p.pg_num;
+}
+
+std::vector<int> Cluster::acting_set(int pool, std::uint64_t oid,
+                                     crush::PlacementWork* work) const {
+  const auto& p = pools_[static_cast<std::size_t>(pool)];
+  const std::uint32_t pg = pg_of(pool, oid);
+  // CRUSH input mixes pool id and PG, like Ceph's pps (placement seed).
+  const std::uint32_t x =
+      crush::hash32_2(static_cast<std::uint32_t>(pool) + 1, pg);
+  auto items = layout_.map.do_rule(p.crush_rule, x, p.fanout(), work);
+  std::vector<int> osds;
+  osds.reserve(items.size());
+  for (auto item : items) osds.push_back(static_cast<int>(item));
+  return osds;
+}
+
+void Cluster::set_osd_down(int id, bool down) {
+  down_[static_cast<std::size_t>(id)] = down;
+}
+
+void Cluster::set_osd_out(int id, bool out) {
+  layout_.map.set_device_out(id, out);
+}
+
+void Cluster::send_from_client(int dst_osd, std::shared_ptr<OpBody> body) {
+  body->target_osd = dst_osd;
+  const std::uint64_t bytes = op_wire_bytes(*body);
+  net_.send(net::Message{client_node_, node_of_osd(dst_osd), bytes, 0,
+                         std::move(body)});
+}
+
+void Cluster::send_from_osd(int src_osd, int dst,
+                            std::shared_ptr<OpBody> body) {
+  const std::uint64_t bytes = op_wire_bytes(*body);
+  if (dst < 0) {
+    net_.send(net::Message{node_of_osd(src_osd), client_node_, bytes, 0,
+                           std::move(body)});
+  } else {
+    body->target_osd = dst;
+    net_.send(net::Message{node_of_osd(src_osd), node_of_osd(dst), bytes, 0,
+                           std::move(body)});
+  }
+}
+
+void Cluster::backfill(int from_osd, int to_osd, const ObjectKey& key,
+                       std::function<void()> done) {
+  Osd& src = osd(from_osd);
+  const std::uint64_t size = src.store().object_size(key);
+  auto data = src.store().read(key, 0, size);
+  const Nanos read_svc =
+      src.service_time(size, /*is_write=*/false, key, /*offset=*/0);
+  sim_.schedule_after(read_svc, [this, from_osd, to_osd, key,
+                                 data = std::move(data),
+                                 done = std::move(done)]() mutable {
+    auto body = std::make_shared<OpBody>();
+    body->type = OpType::backfill_push;
+    body->key = key;
+    body->offset = 0;
+    body->data = std::move(data);
+    body->reply_osd = from_osd;
+    body->on_done = std::move(done);
+    send_from_osd(from_osd, to_osd, std::move(body));
+  });
+}
+
+void Cluster::reconstruct_shard(
+    const std::vector<std::pair<int, ObjectKey>>& sources, int to_osd,
+    const ObjectKey& target_key, std::vector<std::uint8_t> rebuilt,
+    std::function<void()> done) {
+  struct Gather {
+    std::size_t awaiting;
+    std::function<void()> done;
+  };
+  auto gather = std::make_shared<Gather>();
+  gather->awaiting = sources.size();
+  gather->done = std::move(done);
+
+  auto finish = [this, to_osd, target_key, rebuilt = std::move(rebuilt),
+                 gather]() mutable {
+    // All sibling shards arrived: charge the decode + local write, persist.
+    Osd& dst = osd(to_osd);
+    const Nanos decode = transfer_time(
+        rebuilt.size() * 4 /* ~k GF ops per byte */, config_.osd.ec_encode_bps);
+    const Nanos write_svc = dst.service_time(rebuilt.size(), /*is_write=*/true,
+                                             target_key, /*offset=*/0);
+    sim_.schedule_after(decode + write_svc,
+                        [this, to_osd, target_key,
+                         rebuilt = std::move(rebuilt), gather] {
+                          osd(to_osd).store().write(target_key, 0, rebuilt);
+                          gather->done();
+                        });
+  };
+
+  if (sources.empty()) {
+    finish();
+    return;
+  }
+  for (const auto& [holder, sibling_key] : sources) {
+    Osd& src = osd(holder);
+    const std::uint64_t size = src.store().object_size(sibling_key);
+    const Nanos read_svc =
+        src.service_time(size, /*is_write=*/false, sibling_key, 0);
+    sim_.schedule_after(
+        read_svc, [this, holder, to_osd, sibling_key, size, gather,
+                   finish]() mutable {
+          auto body = std::make_shared<OpBody>();
+          body->type = OpType::backfill_push;
+          body->key = sibling_key;
+          body->data = osd(holder).store().read(sibling_key, 0, size);
+          body->transient = true;
+          body->reply_osd = holder;
+          body->on_done = [gather, finish]() mutable {
+            if (--gather->awaiting == 0) finish();
+          };
+          send_from_osd(holder, to_osd, std::move(body));
+        });
+  }
+}
+
+std::uint64_t Cluster::total_ops_served() const {
+  std::uint64_t total = 0;
+  for (const auto& o : osds_) total += o->ops_served();
+  return total;
+}
+
+}  // namespace dk::rados

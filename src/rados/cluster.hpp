@@ -1,0 +1,130 @@
+// Simulated Ceph-like cluster: a client node plus server nodes hosting OSDs,
+// wired over the simulated 10 GbE fabric, with CRUSH-driven placement.
+//
+// Mirrors the paper's industrial testbed: 1 client, 2 servers x 16 OSDs
+// (32 OSDs total), replicated and erasure-coded pools.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crush/builder.hpp"
+#include "ec/reed_solomon.hpp"
+#include "net/network.hpp"
+#include "rados/messages.hpp"
+#include "rados/osd.hpp"
+#include "sim/simulator.hpp"
+
+namespace dk::rados {
+
+struct PoolConfig {
+  enum class Mode { replicated, erasure };
+
+  std::string name;
+  Mode mode = Mode::replicated;
+  unsigned size = 2;          // replica count (replicated pools)
+  ec::Profile ec_profile;     // erasure pools
+  unsigned pg_num = 128;
+  int crush_rule = -1;
+
+  unsigned fanout() const {
+    return mode == Mode::replicated ? size : ec_profile.total();
+  }
+};
+
+struct ClusterConfig {
+  crush::ClusterSpec crush;  // default: 2 hosts x 16 OSDs
+  OsdConfig osd;
+  net::FabricConfig fabric;
+  std::uint64_t seed = 1;
+};
+
+class Cluster {
+ public:
+  Cluster(sim::Simulator& sim, ClusterConfig config = {});
+
+  sim::Simulator& simulator() { return sim_; }
+  net::Network& network() { return net_; }
+  net::NodeId client_node() const { return client_node_; }
+  const crush::ClusterLayout& layout() const { return layout_; }
+  crush::CrushMap& crush_map() { return layout_.map; }
+
+  std::size_t osd_count() const { return osds_.size(); }
+  Osd& osd(int id) { return *osds_[static_cast<std::size_t>(id)]; }
+  net::NodeId node_of_osd(int id) const {
+    return osd_nodes_[static_cast<std::size_t>(id)];
+  }
+
+  int create_replicated_pool(std::string name, unsigned size,
+                             unsigned pg_num = 128);
+  int create_ec_pool(std::string name, ec::Profile profile,
+                     unsigned pg_num = 128);
+  const PoolConfig& pool(int id) const {
+    return pools_[static_cast<std::size_t>(id)];
+  }
+  std::size_t pool_count() const { return pools_.size(); }
+
+  /// Placement group for an object, and the CRUSH input x for that PG.
+  std::uint32_t pg_of(int pool, std::uint64_t oid) const;
+
+  /// Ordered acting set (OSD ids) for an object. `work` accumulates the
+  /// CRUSH computation performed — the quantity the FPGA kernels offload.
+  std::vector<int> acting_set(int pool, std::uint64_t oid,
+                              crush::PlacementWork* work = nullptr) const;
+
+  /// Mark an OSD down: placement is unchanged but clients route reads
+  /// around it (degraded operation, triggering EC decode).
+  void set_osd_down(int id, bool down);
+  bool osd_down(int id) const {
+    return down_[static_cast<std::size_t>(id)];
+  }
+
+  /// Mark an OSD out: CRUSH stops selecting it and placement remaps —
+  /// the cluster-resize event that drives DFX reconfiguration in the paper.
+  void set_osd_out(int id, bool out);
+
+  /// Register the client-side handler for reply messages.
+  void set_client_handler(std::function<void(std::shared_ptr<OpBody>)> fn) {
+    client_handler_ = std::move(fn);
+  }
+
+  /// Send a protocol message from the client to an OSD.
+  void send_from_client(int dst_osd, std::shared_ptr<OpBody> body);
+
+  /// Aggregate ops served across all OSDs.
+  std::uint64_t total_ops_served() const;
+
+  /// Recovery copy: read `key` on `from_osd`, push it over the network to
+  /// `to_osd`, persist there, then fire `done`. Charges source read
+  /// service, wire transfer, and destination write service.
+  void backfill(int from_osd, int to_osd, const ObjectKey& key,
+                std::function<void()> done);
+
+  /// EC shard reconstruction: stream k surviving sibling shards from their
+  /// holders to `to_osd` (transient pushes), charge the decode there, then
+  /// persist the caller-provided rebuilt shard bytes under `target_key`.
+  void reconstruct_shard(
+      const std::vector<std::pair<int, ObjectKey>>& sources, int to_osd,
+      const ObjectKey& target_key, std::vector<std::uint8_t> rebuilt,
+      std::function<void()> done);
+
+ private:
+  void send_from_osd(int src_osd, int dst, std::shared_ptr<OpBody> body);
+
+  sim::Simulator& sim_;
+  ClusterConfig config_;
+  net::Network net_;
+  crush::ClusterLayout layout_;
+  net::NodeId client_node_ = 0;
+  std::vector<net::NodeId> server_nodes_;
+  std::vector<std::unique_ptr<Osd>> osds_;
+  std::vector<net::NodeId> osd_nodes_;  // osd id -> hosting server node
+  std::vector<bool> down_;
+  std::vector<PoolConfig> pools_;
+  std::function<void(std::shared_ptr<OpBody>)> client_handler_;
+};
+
+}  // namespace dk::rados

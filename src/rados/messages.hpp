@@ -1,0 +1,62 @@
+// Wire protocol between the RADOS client and the simulated OSDs.
+//
+// Message bodies ride the network layer's shared_ptr<void>; payload byte
+// counts charged to the fabric are header + data length.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "rados/object_store.hpp"
+
+namespace dk::rados {
+
+/// Fixed per-message protocol header size (msgr envelope + op header),
+/// approximating Ceph's MOSDOp framing.
+constexpr std::uint64_t kMsgHeaderBytes = 192;
+
+enum class OpType : std::uint8_t {
+  client_write,     // client -> primary (replicated, primary-copy)
+  client_read,      // client -> primary
+  repl_write,       // primary -> replica
+  repl_ack,         // replica -> primary
+  shard_write,      // client/primary -> shard OSD (EC or client-fanout repl)
+  shard_ack,        // shard OSD -> requester
+  shard_read,       // requester -> shard OSD
+  shard_data,       // shard OSD -> requester
+  ec_primary_write, // client -> primary: encode at primary, fan out shards
+  ec_primary_read,  // client -> primary: gather shards, decode, reply
+  backfill_push,    // osd -> osd: recovery copy of a whole object/shard
+  reply_write,      // primary -> client
+  reply_read,       // primary -> client (with data)
+};
+
+struct OpBody {
+  OpType type;
+  std::uint64_t op_id = 0;       // requester-scoped correlation id
+  ObjectKey key;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  std::vector<std::uint8_t> data;
+  int target_osd = -1;           // OSD index on the destination node
+  int reply_osd = -1;            // OSD index to route the reply back to (-1 = client)
+  // Fan-out bookkeeping: replica OSDs (primary-copy) or shard OSDs in shard
+  // order (EC primary paths; entry 0 is the primary itself).
+  std::vector<int> replicas;
+  // EC geometry for primary-encode/-read ops (0 when not EC).
+  unsigned ec_k = 0;
+  unsigned ec_m = 0;
+  // Orchestrator completion hook for backfill pushes (recovery manager).
+  std::function<void()> on_done;
+  // Transient pushes (EC reconstruction gathers) are not persisted at the
+  // destination; they only charge transfer + service time.
+  bool transient = false;
+};
+
+inline std::uint64_t op_wire_bytes(const OpBody& body) {
+  return kMsgHeaderBytes + body.data.size();
+}
+
+}  // namespace dk::rados

@@ -1,0 +1,62 @@
+#include "rados/object_store.hpp"
+
+#include <algorithm>
+
+namespace dk::rados {
+
+void ObjectStore::write(const ObjectKey& key, std::uint64_t offset,
+                        std::span<const std::uint8_t> data) {
+  if (data.empty()) return;
+  auto& obj = objects_[key];
+  const std::uint64_t end = offset + data.size();
+  if (obj.size() < end) obj.resize(end, 0);
+  std::copy(data.begin(), data.end(),
+            obj.begin() + static_cast<std::ptrdiff_t>(offset));
+}
+
+std::vector<std::uint8_t> ObjectStore::read(const ObjectKey& key,
+                                            std::uint64_t offset,
+                                            std::uint64_t length) const {
+  std::vector<std::uint8_t> out(length, 0);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return out;
+  const auto& obj = it->second;
+  if (offset >= obj.size()) return out;
+  const std::uint64_t n = std::min<std::uint64_t>(length, obj.size() - offset);
+  std::copy_n(obj.begin() + static_cast<std::ptrdiff_t>(offset), n,
+              out.begin());
+  return out;
+}
+
+bool ObjectStore::exists(const ObjectKey& key) const {
+  return objects_.count(key) > 0;
+}
+
+std::uint64_t ObjectStore::object_size(const ObjectKey& key) const {
+  auto it = objects_.find(key);
+  return it == objects_.end() ? 0 : it->second.size();
+}
+
+void ObjectStore::remove(const ObjectKey& key) { objects_.erase(key); }
+
+std::vector<ObjectKey> ObjectStore::keys() const {
+  std::vector<ObjectKey> out;
+  out.reserve(objects_.size());
+  for (const auto& [k, v] : objects_) out.push_back(k);
+  return out;
+}
+
+std::vector<ObjectKey> ObjectStore::keys_of_pool(std::uint32_t pool) const {
+  std::vector<ObjectKey> out;
+  for (const auto& [k, v] : objects_)
+    if (k.pool == pool) out.push_back(k);
+  return out;
+}
+
+std::uint64_t ObjectStore::bytes_stored() const {
+  std::uint64_t total = 0;
+  for (const auto& [k, v] : objects_) total += v.size();
+  return total;
+}
+
+}  // namespace dk::rados

@@ -1,0 +1,299 @@
+#include "rados/osd.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace dk::rados {
+
+Osd::Osd(sim::Simulator& sim, int id, OsdConfig config, std::uint64_t seed)
+    : sim_(sim),
+      id_(id),
+      config_(config),
+      rng_(seed),
+      workers_(sim, config.op_threads, "osd-workers") {}
+
+Nanos Osd::service_time(std::uint64_t bytes, bool is_write,
+                        const ObjectKey& key, std::uint64_t offset) {
+  auto& last_end = is_write ? last_write_end_ : last_read_end_;
+  auto it = last_end.find(key);
+  const bool contiguous = it != last_end.end() && it->second == offset;
+  last_end[key] = offset + bytes;
+
+  // Contiguous reads were prefetched by readahead; contiguous writes join
+  // the open WAL batch. Both skip the per-access media fixed cost.
+  const Nanos media_fixed =
+      contiguous ? 0
+                 : (is_write ? config_.media_write_fixed
+                             : config_.media_read_fixed);
+  const Nanos base =
+      config_.op_fixed + media_fixed + transfer_time(bytes, config_.media_bps);
+  const Nanos jitter = static_cast<Nanos>(
+      rng_.exponential(config_.jitter_frac * static_cast<double>(base)));
+  return base + jitter;
+}
+
+void Osd::handle(std::shared_ptr<OpBody> body) {
+  assert(send_ && "messenger not wired");
+  ++ops_served_;
+  switch (body->type) {
+    case OpType::client_write: do_client_write(std::move(body)); break;
+    case OpType::client_read: do_client_read(std::move(body)); break;
+    case OpType::repl_write: do_repl_write(std::move(body)); break;
+    case OpType::repl_ack: do_repl_ack(std::move(body)); break;
+    case OpType::shard_write: do_shard_write(std::move(body)); break;
+    case OpType::shard_read: do_shard_read(std::move(body)); break;
+    case OpType::ec_primary_write: do_ec_primary_write(std::move(body)); break;
+    case OpType::ec_primary_read: do_ec_primary_read(std::move(body)); break;
+    case OpType::shard_data: do_shard_data(std::move(body)); break;
+    case OpType::backfill_push: {
+      // Recovery copy: persist the pushed object/shard, then notify the
+      // recovery orchestrator directly (the ack path is not modeled on the
+      // wire; its 6 us would be invisible under the multi-ms copy times).
+      const Nanos svc = service_time(body->data.size(), /*is_write=*/true,
+                                     body->key, body->offset);
+      workers_.submit(svc, [this, body = std::move(body)] {
+        if (!body->transient) store_.write(body->key, body->offset, body->data);
+        if (body->on_done) body->on_done();
+      });
+      break;
+    }
+    case OpType::shard_ack: do_repl_ack(std::move(body)); break;
+    default:
+      assert(false && "reply types are client-bound");
+  }
+}
+
+const ec::ReedSolomon& Osd::codec(unsigned k, unsigned m) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(k) << 32) | m;
+  auto it = codecs_.find(key);
+  if (it == codecs_.end()) {
+    it = codecs_
+             .emplace(key, std::make_unique<ec::ReedSolomon>(ec::Profile{
+                               k, m, ec::GeneratorKind::vandermonde}))
+             .first;
+  }
+  return *it->second;
+}
+
+void Osd::do_client_write(std::shared_ptr<OpBody> body) {
+  // Primary-copy protocol: the local persist and the replica fan-out run in
+  // PARALLEL (as in Ceph: the primary queues the transaction and ships
+  // sub-ops immediately); the client is acked when both the local write and
+  // every replica ack have landed.
+  PendingWrite pw;
+  pw.awaiting = 1 + static_cast<unsigned>(body->replicas.size());
+  auto reply = std::make_shared<OpBody>();
+  reply->type = OpType::reply_write;
+  reply->op_id = body->op_id;
+  reply->key = body->key;
+  pw.reply = reply;
+  const std::uint64_t op_id = body->op_id;
+  pending_.emplace(op_id, std::move(pw));
+
+  for (int replica : body->replicas) {
+    auto sub = std::make_shared<OpBody>(*body);
+    sub->type = OpType::repl_write;
+    sub->target_osd = replica;
+    sub->reply_osd = id_;
+    sub->replicas.clear();
+    send_(replica, sub);
+  }
+
+  const Nanos svc = service_time(body->data.size(), /*is_write=*/true,
+                                 body->key, body->offset);
+  workers_.submit(svc, [this, op_id, body = std::move(body)] {
+    store_.write(body->key, body->offset, body->data);
+    auto self_ack = std::make_shared<OpBody>();
+    self_ack->type = OpType::repl_ack;
+    self_ack->op_id = op_id;
+    do_repl_ack(std::move(self_ack));
+  });
+}
+
+void Osd::do_client_read(std::shared_ptr<OpBody> body) {
+  const Nanos svc = service_time(body->length, /*is_write=*/false, body->key,
+                                 body->offset);
+  workers_.submit(svc, [this, body = std::move(body)] {
+    auto reply = std::make_shared<OpBody>();
+    reply->type = OpType::reply_read;
+    reply->op_id = body->op_id;
+    reply->key = body->key;
+    reply->data = store_.read(body->key, body->offset, body->length);
+    send_(-1, std::move(reply));
+  });
+}
+
+void Osd::do_repl_write(std::shared_ptr<OpBody> body) {
+  const Nanos svc = service_time(body->data.size(), /*is_write=*/true,
+                                 body->key, body->offset);
+  workers_.submit(svc, [this, body = std::move(body)] {
+    store_.write(body->key, body->offset, body->data);
+    auto ack = std::make_shared<OpBody>();
+    ack->type = OpType::repl_ack;
+    ack->op_id = body->op_id;
+    ack->key = body->key;
+    ack->target_osd = body->reply_osd;
+    send_(body->reply_osd, std::move(ack));
+  });
+}
+
+void Osd::do_repl_ack(std::shared_ptr<OpBody> body) {
+  auto it = pending_.find(body->op_id);
+  if (it == pending_.end()) return;  // stale ack
+  if (--it->second.awaiting == 0) {
+    send_(-1, it->second.reply);
+    pending_.erase(it);
+  }
+}
+
+void Osd::do_shard_write(std::shared_ptr<OpBody> body) {
+  const Nanos svc = service_time(body->data.size(), /*is_write=*/true,
+                                 body->key, body->offset);
+  workers_.submit(svc, [this, body = std::move(body)] {
+    store_.write(body->key, body->offset, body->data);
+    auto ack = std::make_shared<OpBody>();
+    ack->type = OpType::shard_ack;
+    ack->op_id = body->op_id;
+    ack->key = body->key;
+    ack->target_osd = body->reply_osd;
+    send_(body->reply_osd, std::move(ack));
+  });
+}
+
+void Osd::do_ec_primary_write(std::shared_ptr<OpBody> body) {
+  // Software-Ceph EC write path: the primary pays the jerasure encode cost
+  // in CPU time, stores its own shard, and fans the rest out. `replicas`
+  // holds the full acting set in shard order (entry 0 == this OSD).
+  const unsigned k = body->ec_k, m = body->ec_m;
+  assert(k >= 1 && m >= 1 && body->replicas.size() == k + m);
+  const auto& rs = codec(k, m);
+  const Nanos encode_cost =
+      transfer_time(rs.encode_ops(body->data.size()), config_.ec_encode_bps);
+  ObjectKey own_key = body->key;
+  own_key.shard = 0;
+  const Nanos svc = service_time(body->data.size() / k, /*is_write=*/true,
+                                 own_key, body->offset / k) +
+                    encode_cost;
+  workers_.submit(svc, [this, body = std::move(body)] {
+    const unsigned k = body->ec_k, m = body->ec_m;
+    const auto& rs = codec(k, m);
+    auto data_chunks = rs.split(body->data);
+    auto coding = rs.encode(data_chunks);
+    assert(coding.ok());
+    std::vector<ec::Chunk> shards = std::move(data_chunks);
+    for (auto& c : *coding) shards.push_back(std::move(c));
+
+    const std::uint64_t shard_off = body->offset / k;
+
+    // Store our own shard (shard 0).
+    ObjectKey own = body->key;
+    own.shard = 0;
+    store_.write(own, shard_off, shards[0]);
+
+    PendingWrite pw;
+    pw.awaiting = static_cast<unsigned>(shards.size() - 1);
+    auto reply = std::make_shared<OpBody>();
+    reply->type = OpType::reply_write;
+    reply->op_id = body->op_id;
+    reply->key = body->key;
+    pw.reply = reply;
+    if (pw.awaiting == 0) {
+      send_(-1, reply);
+      return;
+    }
+    pending_.emplace(body->op_id, std::move(pw));
+    for (unsigned s = 1; s < shards.size(); ++s) {
+      auto sub = std::make_shared<OpBody>();
+      sub->type = OpType::shard_write;
+      sub->op_id = body->op_id;
+      sub->key = body->key;
+      sub->key.shard = static_cast<std::int32_t>(s);
+      sub->offset = shard_off;
+      sub->data = std::move(shards[s]);
+      sub->reply_osd = id_;
+      send_(body->replicas[s], std::move(sub));
+    }
+  });
+}
+
+void Osd::do_ec_primary_read(std::shared_ptr<OpBody> body) {
+  // Software-Ceph EC read path: the primary reads its own shard, gathers
+  // the other k-1 data shards, reassembles, and replies to the client.
+  const unsigned k = body->ec_k, m = body->ec_m;
+  assert(k >= 1 && body->replicas.size() == k + m);
+  const std::uint64_t chunk_len = (body->length + k - 1) / k;
+  const std::uint64_t shard_off = body->offset / k;
+  ObjectKey own_key = body->key;
+  own_key.shard = 0;
+  const Nanos svc =
+      service_time(chunk_len, /*is_write=*/false, own_key, shard_off);
+  workers_.submit(svc, [this, body = std::move(body), chunk_len, shard_off] {
+    const unsigned k = body->ec_k, m = body->ec_m;
+    PendingRead pr;
+    pr.k = k;
+    pr.m = m;
+    pr.length = body->length;
+    pr.awaiting = k - 1;
+    pr.chunks.resize(k + m);
+    ObjectKey own = body->key;
+    own.shard = 0;
+    pr.chunks[0] = store_.read(own, shard_off, chunk_len);
+
+    auto reply = std::make_shared<OpBody>();
+    reply->type = OpType::reply_read;
+    reply->op_id = body->op_id;
+    reply->key = body->key;
+    pr.reply = reply;
+
+    if (pr.awaiting == 0) {
+      reply->data = codec(k, m).assemble({*pr.chunks[0]}, body->length);
+      send_(-1, reply);
+      return;
+    }
+    pending_reads_.emplace(body->op_id, std::move(pr));
+    for (unsigned s = 1; s < k; ++s) {
+      auto sub = std::make_shared<OpBody>();
+      sub->type = OpType::shard_read;
+      sub->op_id = body->op_id;
+      sub->key = body->key;
+      sub->key.shard = static_cast<std::int32_t>(s);
+      sub->offset = shard_off;
+      sub->length = chunk_len;
+      sub->reply_osd = id_;
+      send_(body->replicas[s], std::move(sub));
+    }
+  });
+}
+
+void Osd::do_shard_data(std::shared_ptr<OpBody> body) {
+  auto it = pending_reads_.find(body->op_id);
+  if (it == pending_reads_.end()) return;  // stale
+  PendingRead& pr = it->second;
+  const auto shard = static_cast<std::size_t>(body->key.shard);
+  assert(shard < pr.chunks.size());
+  pr.chunks[shard] = std::move(body->data);
+  if (--pr.awaiting != 0) return;
+  // All k data shards present: concatenate (no decode needed on the
+  // healthy path — the chunks are systematic data shards).
+  std::vector<ec::Chunk> data;
+  for (unsigned s = 0; s < pr.k; ++s) data.push_back(std::move(*pr.chunks[s]));
+  pr.reply->data = codec(pr.k, pr.m).assemble(data, pr.length);
+  send_(-1, pr.reply);
+  pending_reads_.erase(it);
+}
+
+void Osd::do_shard_read(std::shared_ptr<OpBody> body) {
+  const Nanos svc = service_time(body->length, /*is_write=*/false, body->key,
+                                 body->offset);
+  workers_.submit(svc, [this, body = std::move(body)] {
+    auto reply = std::make_shared<OpBody>();
+    reply->type = OpType::shard_data;
+    reply->op_id = body->op_id;
+    reply->key = body->key;
+    reply->data = store_.read(body->key, body->offset, body->length);
+    reply->target_osd = body->reply_osd;
+    send_(body->reply_osd, std::move(reply));
+  });
+}
+
+}  // namespace dk::rados

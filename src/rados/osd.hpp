@@ -1,0 +1,109 @@
+// Simulated OSD (Object Storage Daemon).
+//
+// Each OSD owns an object store, a small pool of op threads (FIFO queueing),
+// and a media model (fixed access time + bandwidth term). It speaks the
+// OpBody protocol: serving client reads/writes, acting as replication
+// primary (fan-out to replica OSDs), and serving EC shard reads/writes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ec/reed_solomon.hpp"
+#include "common/units.hpp"
+#include "net/network.hpp"
+#include "rados/messages.hpp"
+#include "rados/object_store.hpp"
+#include "sim/resources.hpp"
+
+namespace dk::rados {
+
+struct OsdConfig {
+  unsigned op_threads = 2;      // parallel op worker shards
+  Nanos op_fixed = us(10);      // per-op CPU + BlueStore metadata cost
+  Nanos media_read_fixed = us(20);  // cold read access (cache miss)
+  Nanos media_write_fixed = us(5);  // WAL commit (writes are deferred)
+  double media_bps = 2.0e9;     // media streaming bandwidth, bytes/s
+  double jitter_frac = 0.10;    // exponential jitter, fraction of base time
+  double ec_encode_bps = 1.2e9; // software jerasure encode/decode bandwidth
+};
+
+/// Callback the OSD uses to send protocol messages (bound to its node's NIC
+/// by the cluster).
+using SendFn = std::function<void(int dst_osd_or_client, std::shared_ptr<OpBody>)>;
+
+class Osd {
+ public:
+  Osd(sim::Simulator& sim, int id, OsdConfig config, std::uint64_t seed);
+
+  int id() const { return id_; }
+  ObjectStore& store() { return store_; }
+  const ObjectStore& store() const { return store_; }
+  const OsdConfig& config() const { return config_; }
+  std::uint64_t ops_served() const { return ops_served_; }
+
+  /// Wire up the messenger. `send(dst, body)` with dst == -1 targets the
+  /// client node, otherwise the given OSD id.
+  void set_sender(SendFn send) { send_ = std::move(send); }
+
+  /// Handle a delivered protocol message addressed to this OSD.
+  void handle(std::shared_ptr<OpBody> body);
+
+  /// Sampled service time for an op of `bytes` at (key, offset); queueing
+  /// not included. Models two cache effects of the real backend:
+  ///   * readahead — a read contiguous with the previous read of the same
+  ///     object skips the media access (prefetched);
+  ///   * WAL write combining — a write contiguous with the previous write
+  ///     commits into the open journal batch, skipping the media fixed cost.
+  Nanos service_time(std::uint64_t bytes, bool is_write, const ObjectKey& key,
+                     std::uint64_t offset);
+
+ private:
+  void do_client_write(std::shared_ptr<OpBody> body);
+  void do_client_read(std::shared_ptr<OpBody> body);
+  void do_repl_write(std::shared_ptr<OpBody> body);
+  void do_repl_ack(std::shared_ptr<OpBody> body);
+  void do_shard_write(std::shared_ptr<OpBody> body);
+  void do_shard_read(std::shared_ptr<OpBody> body);
+  void do_ec_primary_write(std::shared_ptr<OpBody> body);
+  void do_ec_primary_read(std::shared_ptr<OpBody> body);
+  void do_shard_data(std::shared_ptr<OpBody> body);
+
+  const ec::ReedSolomon& codec(unsigned k, unsigned m);
+
+  // Pending primary-copy / EC writes awaiting acks: op_id -> remaining.
+  struct PendingWrite {
+    unsigned awaiting = 0;
+    std::shared_ptr<OpBody> reply;
+  };
+  // Pending EC primary reads gathering shard data.
+  struct PendingRead {
+    unsigned awaiting = 0;
+    unsigned k = 0, m = 0;
+    std::uint64_t length = 0;  // original (unsharded) read length
+    std::vector<std::optional<ec::Chunk>> chunks;
+    std::shared_ptr<OpBody> reply;
+  };
+
+  sim::Simulator& sim_;
+  int id_;
+  OsdConfig config_;
+  Rng rng_;
+  ObjectStore store_;
+  sim::FifoServer workers_;
+  SendFn send_;
+  // Readahead / write-combining state: last access end per object.
+  std::map<ObjectKey, std::uint64_t> last_read_end_;
+  std::map<ObjectKey, std::uint64_t> last_write_end_;
+  std::map<std::uint64_t, PendingWrite> pending_;
+  std::map<std::uint64_t, PendingRead> pending_reads_;
+  std::map<std::uint64_t, std::unique_ptr<ec::ReedSolomon>> codecs_;
+  std::uint64_t ops_served_ = 0;
+};
+
+}  // namespace dk::rados

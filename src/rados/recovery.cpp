@@ -1,0 +1,248 @@
+#include "rados/recovery.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "ec/reed_solomon.hpp"
+
+namespace dk::rados {
+
+namespace {
+
+/// Where every copy/shard of the pool's objects currently lives:
+/// key (with shard) -> holder OSD ids.
+std::map<ObjectKey, std::vector<int>> holders_of_pool(Cluster& cluster,
+                                                      int pool) {
+  std::map<ObjectKey, std::vector<int>> holders;
+  for (std::size_t i = 0; i < cluster.osd_count(); ++i) {
+    for (const ObjectKey& key :
+         cluster.osd(static_cast<int>(i)).store().keys_of_pool(
+             static_cast<std::uint32_t>(pool))) {
+      holders[key].push_back(static_cast<int>(i));
+    }
+  }
+  return holders;
+}
+
+}  // namespace
+
+RecoveryPlan RecoveryManager::plan(int pool) const {
+  RecoveryPlan out;
+  out.pool = pool;
+  const auto& pcfg = cluster_.pool(pool);
+  auto holders = holders_of_pool(cluster_, pool);
+
+  for (const auto& [key, held_by] : holders) {
+    const auto acting = cluster_.acting_set(pool, key.oid);
+    if (acting.empty()) {
+      out.degraded.push_back(key);
+      continue;
+    }
+
+    // Which OSDs *should* hold this key?
+    std::vector<int> want;
+    if (pcfg.mode == PoolConfig::Mode::replicated) {
+      want = acting;  // every acting OSD holds a full copy
+    } else {
+      // EC: shard s lives on acting[s] only.
+      if (key.shard < 0 ||
+          static_cast<std::size_t>(key.shard) >= acting.size()) {
+        out.degraded.push_back(key);
+        continue;
+      }
+      want.push_back(acting[static_cast<std::size_t>(key.shard)]);
+    }
+
+    // Pick a surviving source (prefer one that is not down).
+    int source = -1;
+    for (int h : held_by)
+      if (!cluster_.osd_down(h)) {
+        source = h;
+        break;
+      }
+
+    if (source < 0 && pcfg.mode == PoolConfig::Mode::erasure) {
+      // No live holder of THIS shard: reconstruct it from k live siblings.
+      const unsigned k = pcfg.ec_profile.k;
+      std::vector<std::pair<int, ObjectKey>> sources;
+      for (unsigned s = 0; s < pcfg.ec_profile.total() && sources.size() < k;
+           ++s) {
+        if (static_cast<std::int32_t>(s) == key.shard) continue;
+        ObjectKey sibling = key;
+        sibling.shard = static_cast<std::int32_t>(s);
+        auto hit = holders.find(sibling);
+        if (hit == holders.end()) continue;
+        for (int h : hit->second)
+          if (!cluster_.osd_down(h)) {
+            sources.emplace_back(h, sibling);
+            break;
+          }
+      }
+      if (sources.size() < k) {
+        out.degraded.push_back(key);
+        continue;
+      }
+      const std::uint64_t bytes =
+          cluster_.osd(sources[0].first).store().object_size(
+              sources[0].second);
+      for (int target : want) {
+        RecoveryMove move;
+        move.key = key;
+        move.to_osd = target;
+        move.bytes = bytes;
+        move.reconstruct = true;
+        move.sources = sources;
+        out.moves.push_back(std::move(move));
+      }
+      continue;
+    }
+    if (source < 0) {
+      out.degraded.push_back(key);
+      continue;
+    }
+
+    const std::uint64_t bytes =
+        cluster_.osd(source).store().object_size(key);
+    for (int target : want) {
+      const bool has = std::find(held_by.begin(), held_by.end(), target) !=
+                       held_by.end();
+      if (!has)
+        out.moves.push_back(RecoveryMove{key, source, target, bytes, false, {}});
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> RecoveryManager::rebuild_shard(
+    int pool, const RecoveryMove& move) const {
+  const auto& pcfg = cluster_.pool(pool);
+  const unsigned k = pcfg.ec_profile.k, m = pcfg.ec_profile.m;
+  ec::ReedSolomon rs({k, m, pcfg.ec_profile.generator});
+  std::vector<std::optional<ec::Chunk>> chunks(k + m);
+  std::uint64_t chunk_size = 0;
+  for (const auto& [holder, sibling] : move.sources) {
+    const auto& store = cluster_.osd(holder).store();
+    const std::uint64_t size = store.object_size(sibling);
+    chunk_size = std::max(chunk_size, size);
+  }
+  for (const auto& [holder, sibling] : move.sources) {
+    const auto& store = cluster_.osd(holder).store();
+    chunks[static_cast<std::size_t>(sibling.shard)] =
+        store.read(sibling, 0, chunk_size);
+  }
+  const auto shard = static_cast<std::size_t>(move.key.shard);
+  if (shard < k) {
+    auto decoded = rs.decode(chunks);
+    if (!decoded.ok()) return {};
+    return (*decoded)[shard];
+  }
+  // Parity shard: decode the data, then re-encode the missing parity.
+  auto decoded = rs.decode(chunks);
+  if (!decoded.ok()) return {};
+  auto coding = rs.encode(*decoded);
+  if (!coding.ok()) return {};
+  return (*coding)[shard - k];
+}
+
+void RecoveryManager::execute(const RecoveryPlan& plan, unsigned max_parallel,
+                              std::function<void()> done) {
+  if (plan.moves.empty()) {
+    cluster_.simulator().schedule_after(0, std::move(done));
+    return;
+  }
+  struct State {
+    const RecoveryPlan* plan;
+    int pool = 0;
+    std::size_t next = 0;
+    std::size_t completed = 0;
+    std::function<void()> done;
+  };
+  auto state = std::make_shared<State>();
+  state->plan = &plan;
+  state->pool = plan.pool;
+  state->done = std::move(done);
+
+  // Bounded-parallel pump: each finished copy starts the next.
+  auto pump = std::make_shared<std::function<void()>>();
+  *pump = [this, state, pump] {
+    if (state->next >= state->plan->moves.size()) return;
+    const RecoveryMove move = state->plan->moves[state->next++];
+    auto on_done = [this, state, pump, move] {
+      ++recovered_;
+      bytes_ += move.bytes;
+      if (++state->completed == state->plan->moves.size()) {
+        state->done();
+        return;
+      }
+      (*pump)();
+    };
+    if (move.reconstruct) {
+      cluster_.reconstruct_shard(move.sources, move.to_osd, move.key,
+                                 rebuild_shard(state->pool, move),
+                                 std::move(on_done));
+    } else {
+      cluster_.backfill(move.from_osd, move.to_osd, move.key,
+                        std::move(on_done));
+    }
+  };
+  const std::size_t starters =
+      std::min<std::size_t>(max_parallel ? max_parallel : 1,
+                            plan.moves.size());
+  for (std::size_t i = 0; i < starters; ++i) (*pump)();
+}
+
+ScrubReport RecoveryManager::scrub(int pool) const {
+  ScrubReport report;
+  const auto& pcfg = cluster_.pool(pool);
+  auto holders = holders_of_pool(cluster_, pool);
+
+  for (const auto& [key, held_by] : holders) {
+    ++report.objects_checked;
+    const auto acting = cluster_.acting_set(pool, key.oid);
+
+    std::vector<int> want;
+    if (pcfg.mode == PoolConfig::Mode::replicated) {
+      want = acting;
+    } else if (key.shard >= 0 &&
+               static_cast<std::size_t>(key.shard) < acting.size()) {
+      want.push_back(acting[static_cast<std::size_t>(key.shard)]);
+    }
+
+    bool ok = true;
+    for (int target : want) {
+      if (std::find(held_by.begin(), held_by.end(), target) ==
+          held_by.end()) {
+        ++report.missing;
+        ok = false;
+      }
+    }
+    for (int holder : held_by) {
+      if (std::find(want.begin(), want.end(), holder) == want.end()) {
+        ++report.misplaced;
+        ok = false;
+      }
+    }
+
+    // Deep check: replicas must be byte-identical.
+    if (pcfg.mode == PoolConfig::Mode::replicated && held_by.size() > 1) {
+      const auto& first = cluster_.osd(held_by[0]).store();
+      const auto ref =
+          first.read(key, 0, first.object_size(key));
+      for (std::size_t i = 1; i < held_by.size(); ++i) {
+        const auto& other = cluster_.osd(held_by[i]).store();
+        if (other.read(key, 0, other.object_size(key)) != ref) {
+          ++report.inconsistent;
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) ++report.placements_ok;
+  }
+  return report;
+}
+
+}  // namespace dk::rados

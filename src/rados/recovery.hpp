@@ -1,0 +1,82 @@
+// Recovery, backfill, and scrub for the simulated cluster.
+//
+// When CRUSH placement changes (an OSD marked out, weights adjusted, disks
+// added — the cluster-resize events that drive DFX reconfiguration in
+// §IV.C), objects must move so the stored locations again match the acting
+// sets. RecoveryManager computes that delta (the backfill plan), executes
+// it over the simulated network with OSD service costs, and offers a
+// scrub pass that verifies replica/shard consistency — the background
+// machinery a Ceph cluster runs continuously.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "rados/cluster.hpp"
+
+namespace dk::rados {
+
+struct RecoveryMove {
+  ObjectKey key;
+  int from_osd = -1;  // copy source (-1 for reconstruction)
+  int to_osd = -1;
+  std::uint64_t bytes = 0;
+  // EC reconstruction: no live holder of this shard exists, so it must be
+  // rebuilt from k surviving sibling shards (decode at the target).
+  bool reconstruct = false;
+  std::vector<std::pair<int, ObjectKey>> sources;  // holder, sibling key
+};
+
+struct RecoveryPlan {
+  int pool = 0;
+  std::vector<RecoveryMove> moves;
+  std::vector<ObjectKey> degraded;  // objects with no surviving source
+
+  std::uint64_t total_bytes() const {
+    std::uint64_t sum = 0;
+    for (const auto& m : moves) sum += m.bytes;
+    return sum;
+  }
+};
+
+struct ScrubReport {
+  std::uint64_t objects_checked = 0;
+  std::uint64_t placements_ok = 0;
+  std::uint64_t misplaced = 0;      // copy exists but not on an acting OSD
+  std::uint64_t missing = 0;        // acting OSD lacks its copy/shard
+  std::uint64_t inconsistent = 0;   // replica contents differ
+};
+
+class RecoveryManager {
+ public:
+  explicit RecoveryManager(Cluster& cluster) : cluster_(cluster) {}
+
+  /// Compute the backfill plan for a pool: for every stored object, compare
+  /// where its copies/shards are against the current acting set, and plan a
+  /// copy from a surviving holder for each missing placement.
+  RecoveryPlan plan(int pool) const;
+
+  /// Execute a plan with bounded parallelism; `done` fires when the last
+  /// copy lands. Time passes on the simulator (service + network costs).
+  void execute(const RecoveryPlan& plan, unsigned max_parallel,
+               std::function<void()> done);
+
+  /// Deep scrub: verify every stored object of the pool against its acting
+  /// set (placement correctness + byte-identical replicas).
+  ScrubReport scrub(int pool) const;
+
+  std::uint64_t objects_recovered() const { return recovered_; }
+  std::uint64_t bytes_recovered() const { return bytes_; }
+
+ private:
+  /// Functionally rebuild a missing EC shard from the move's sources.
+  std::vector<std::uint8_t> rebuild_shard(int pool,
+                                          const RecoveryMove& move) const;
+
+  Cluster& cluster_;
+  std::uint64_t recovered_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace dk::rados

@@ -1,0 +1,120 @@
+// Queueing resources for the discrete-event simulator.
+//
+//  FifoServer       — c parallel servers with a FIFO wait queue; models CPU
+//                     cores, OSD op threads, and FPGA accelerator engines.
+//  BandwidthChannel — serializes byte transfers at a fixed rate with a fixed
+//                     propagation latency; models network links, PCIe DMA,
+//                     and memory-copy bandwidth.
+//
+// Both are deliberately work-conserving and deterministic.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/units.hpp"
+#include "sim/simulator.hpp"
+
+namespace dk::sim {
+
+/// c-server FIFO queueing station.
+class FifoServer {
+ public:
+  FifoServer(Simulator& sim, unsigned servers, const char* name = "server")
+      : sim_(sim), free_(servers ? servers : 1), name_(name) {}
+
+  const char* name() const { return name_; }
+  unsigned free_servers() const { return free_; }
+  std::size_t queue_depth() const { return waiting_.size(); }
+  std::uint64_t completed() const { return completed_; }
+  Nanos busy_time() const { return busy_time_; }
+
+  /// Enqueue a job with the given service time; `done` fires at completion.
+  void submit(Nanos service_time, EventFn done) {
+    waiting_.push_back(Job{service_time, std::move(done)});
+    pump();
+  }
+
+  /// Fraction of elapsed time servers were busy, per-server averaged.
+  double utilization(Nanos elapsed, unsigned servers) const {
+    if (elapsed <= 0 || servers == 0) return 0.0;
+    return static_cast<double>(busy_time_) /
+           (static_cast<double>(elapsed) * servers);
+  }
+
+ private:
+  struct Job {
+    Nanos service;
+    EventFn done;
+  };
+
+  void pump() {
+    while (free_ > 0 && !waiting_.empty()) {
+      Job job = std::move(waiting_.front());
+      waiting_.pop_front();
+      --free_;
+      busy_time_ += job.service;
+      sim_.schedule_after(job.service,
+                          [this, done = std::move(job.done)]() mutable {
+                            ++free_;
+                            ++completed_;
+                            if (done) done();
+                            pump();
+                          });
+    }
+  }
+
+  Simulator& sim_;
+  unsigned free_;
+  const char* name_;
+  std::deque<Job> waiting_;
+  std::uint64_t completed_ = 0;
+  Nanos busy_time_ = 0;
+};
+
+/// Serializing bandwidth pipe: transfers occupy the channel back-to-back.
+/// Completion time = serialization (bytes / rate) queued behind earlier
+/// transfers, plus a fixed propagation latency that does NOT occupy the pipe
+/// (store-and-forward semantics).
+class BandwidthChannel {
+ public:
+  BandwidthChannel(Simulator& sim, double bytes_per_sec, Nanos latency,
+                   const char* name = "link")
+      : sim_(sim),
+        bytes_per_sec_(bytes_per_sec),
+        latency_(latency),
+        name_(name) {}
+
+  const char* name() const { return name_; }
+  double bytes_per_sec() const { return bytes_per_sec_; }
+  Nanos propagation_latency() const { return latency_; }
+  std::uint64_t bytes_transferred() const { return bytes_; }
+
+  /// Start a transfer of `bytes`; `done` fires when the last byte arrives.
+  void transfer(std::uint64_t bytes, EventFn done) {
+    const Nanos start = busy_until_ > sim_.now() ? busy_until_ : sim_.now();
+    const Nanos ser = transfer_time(bytes, bytes_per_sec_);
+    busy_until_ = start + ser;
+    bytes_ += bytes;
+    sim_.schedule_at(busy_until_ + latency_, std::move(done));
+  }
+
+  /// Time the channel frees up (for backpressure-aware callers).
+  Nanos busy_until() const { return busy_until_; }
+
+  /// Achieved goodput over an interval.
+  double achieved_mbps(Nanos elapsed) const {
+    return mb_per_sec(bytes_, elapsed);
+  }
+
+ private:
+  Simulator& sim_;
+  double bytes_per_sec_;
+  Nanos latency_;
+  const char* name_;
+  Nanos busy_until_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace dk::sim

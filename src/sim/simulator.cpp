@@ -1,0 +1,34 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace dk::sim {
+
+void Simulator::schedule_at(Nanos t, EventFn fn) {
+  if (t < now_) t = now_;
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the event is copied out so the
+  // callback may schedule further events (mutating the queue) safely.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.t;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(Nanos deadline) {
+  while (!queue_.empty() && queue_.top().t <= deadline) step();
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace dk::sim

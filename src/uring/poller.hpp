@@ -1,0 +1,82 @@
+// Live kernel SQ-poll thread.
+//
+// In the DES, kernel-polled mode is driven by explicit kernel_poll() calls;
+// in live mode (examples, microbenchmarks against the RAM disk) this class
+// provides the real thing: a dedicated std::jthread that continuously
+// drains the SQ of one or more rings — the sqpoll kthread io_uring spawns
+// with IORING_SETUP_SQPOLL. Includes the idle-backoff behaviour: after
+// `idle_spins` empty polls the thread naps briefly, and the next submission
+// "wakes" it (modeling the IORING_SQ_NEED_WAKEUP protocol).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "uring/io_uring.hpp"
+
+namespace dk::uring {
+
+struct SqPollParams {
+  unsigned idle_spins = 1024;  // empty polls before napping
+  std::chrono::microseconds nap{50};
+};
+
+class SqPollThread {
+ public:
+  using Params = SqPollParams;
+
+  explicit SqPollThread(std::vector<IoUring*> rings,
+                        SqPollParams params = SqPollParams())
+      : rings_(std::move(rings)), params_(params) {
+    thread_ = std::jthread([this](std::stop_token st) { run(st); });
+  }
+
+  ~SqPollThread() { stop(); }
+
+  SqPollThread(const SqPollThread&) = delete;
+  SqPollThread& operator=(const SqPollThread&) = delete;
+
+  /// Request shutdown and join.
+  void stop() {
+    if (thread_.joinable()) {
+      thread_.request_stop();
+      thread_.join();
+    }
+  }
+
+  std::uint64_t polls() const { return polls_.load(std::memory_order_relaxed); }
+  std::uint64_t naps() const { return naps_.load(std::memory_order_relaxed); }
+  bool napping() const { return napping_.load(std::memory_order_acquire); }
+
+ private:
+  void run(std::stop_token st) {
+    unsigned idle = 0;
+    while (!st.stop_requested()) {
+      unsigned moved = 0;
+      for (IoUring* ring : rings_) moved += ring->kernel_poll();
+      polls_.fetch_add(1, std::memory_order_relaxed);
+      if (moved) {
+        idle = 0;
+        continue;
+      }
+      if (++idle >= params_.idle_spins) {
+        napping_.store(true, std::memory_order_release);
+        naps_.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(params_.nap);
+        napping_.store(false, std::memory_order_release);
+        idle = 0;
+      }
+    }
+  }
+
+  std::vector<IoUring*> rings_;
+  Params params_;
+  std::atomic<std::uint64_t> polls_{0};
+  std::atomic<std::uint64_t> naps_{0};
+  std::atomic<bool> napping_{false};
+  std::jthread thread_;
+};
+
+}  // namespace dk::uring

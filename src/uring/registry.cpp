@@ -1,0 +1,42 @@
+#include "uring/registry.hpp"
+
+namespace dk::uring {
+
+UringRegistry::UringRegistry(RegistryParams params, Backend& backend) {
+  if (params.instances == 0) params.instances = 1;
+  for (unsigned i = 0; i < params.instances; ++i) {
+    UringParams rp = params.ring;
+    rp.bound_cpu = static_cast<int>(params.first_cpu + i);
+    rings_.push_back(std::make_unique<IoUring>(rp, backend));
+  }
+}
+
+unsigned UringRegistry::drain_all() {
+  unsigned total = 0;
+  for (auto& r : rings_) {
+    total += r->params().mode == RingMode::kernel_polled ? r->kernel_poll()
+                                                         : r->enter();
+  }
+  return total;
+}
+
+UringStats UringRegistry::total_stats() const {
+  UringStats sum;
+  for (const auto& r : rings_) {
+    const UringStats& s = r->stats();
+    sum.sqes_submitted += s.sqes_submitted;
+    sum.cqes_reaped += s.cqes_reaped;
+    sum.enter_calls += s.enter_calls;
+    sum.sq_poll_wakeups += s.sq_poll_wakeups;
+    sum.sq_full_rejects += s.sq_full_rejects;
+  }
+  return sum;
+}
+
+bool UringRegistry::all_idle() const {
+  for (const auto& r : rings_)
+    if (!r->idle()) return false;
+  return true;
+}
+
+}  // namespace dk::uring

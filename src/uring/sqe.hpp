@@ -1,0 +1,57 @@
+// Submission/completion queue entry layouts, mirroring the io_uring ABI
+// fields DeLiBA-K uses: opcode, fd, buffer address/length, offset, flags,
+// and an opaque user_data token returned in the CQE.
+#pragma once
+
+#include <cstdint>
+
+namespace dk::uring {
+
+enum class Opcode : std::uint8_t {
+  nop = 0,
+  read = 1,
+  write = 2,
+  fsync = 3,
+  read_fixed = 4,   // read into a registered buffer (by index)
+  write_fixed = 5,  // write from a registered buffer (by index)
+};
+
+/// SQE flags (subset of the io_uring ABI this reproduction models).
+enum SqeFlags : std::uint8_t {
+  kSqeLink = 1 << 0,       // IOSQE_IO_LINK: chain with the next SQE
+  kSqeFixedFile = 1 << 1,  // IOSQE_FIXED_FILE: fd is a registered-file index
+};
+
+/// Result code posted for SQEs cancelled because an earlier link failed.
+constexpr std::int32_t kResCanceled = -125;  // -ECANCELED
+
+/// Submission Queue Entry. The paper (§III-A): "Each SQE includes fields
+/// such as the operation type (e.g., read, write), the file descriptor, a
+/// pointer to the buffer, the buffer length, and additional flags."
+struct Sqe {
+  Opcode opcode = Opcode::nop;
+  std::uint8_t flags = 0;
+  std::int32_t fd = -1;
+  std::uint64_t off = 0;    // device offset in bytes
+  std::uint64_t addr = 0;   // user buffer address (opaque to the ring)
+  std::uint32_t len = 0;    // buffer length in bytes
+  std::uint64_t user_data = 0;
+};
+
+/// Completion Queue Entry: result (bytes transferred or -errno) plus the
+/// user_data token from the originating SQE.
+struct Cqe {
+  std::uint64_t user_data = 0;
+  std::int32_t res = 0;
+  std::uint32_t flags = 0;
+};
+
+/// Ring operating modes (§III-A): DeLiBA-K uses kernel_polled, where a
+/// kernel-side poller consumes SQEs without any submission syscall.
+enum class RingMode : std::uint8_t {
+  interrupt,      // completions signalled; submissions via io_uring_enter
+  user_polled,    // app busy-polls the CQ; submissions via io_uring_enter
+  kernel_polled,  // kernel SQ-poll thread; no submission syscalls
+};
+
+}  // namespace dk::uring

@@ -1,0 +1,67 @@
+// fio-style workload engine for the simulated stack.
+//
+// Drives a core::Framework with the same knobs the paper's fio runs used:
+// rw mode (seq/rand x read/write), block size, iodepth (closed-loop
+// outstanding I/Os per job), numjobs, and runtime; reports IOPS, MB/s
+// (decimal, fio-style) and a latency histogram, measured after a ramp-up
+// window. Deterministic for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "core/framework.hpp"
+
+namespace dk::workload {
+
+enum class RwMode { seq_read, seq_write, rand_read, rand_write, rand_rw };
+
+std::string_view rw_name(RwMode mode);
+bool is_write(RwMode mode);
+bool is_random(RwMode mode);
+
+struct FioJobSpec {
+  RwMode rw = RwMode::rand_read;
+  unsigned rwmix_read = 70;  // % reads in rand_rw mode (fio rwmixread)
+  std::uint64_t bs = 4096;
+  unsigned iodepth = 16;
+  unsigned numjobs = 1;
+  Nanos runtime = sec(1);
+  Nanos ramp = ms(50);
+  bool prefill = false;   // sequentially write the image before measuring
+  bool verify = false;    // verify read payloads against the written pattern
+  std::uint64_t seed = 1;
+};
+
+struct FioResult {
+  std::uint64_t ops = 0;
+  std::uint64_t bytes = 0;
+  Nanos measured_window = 0;
+  LatencyHistogram latency;
+  std::uint64_t verify_errors = 0;
+
+  double iops() const { return dk::iops(ops, measured_window); }
+  double mbps() const { return mb_per_sec(bytes, measured_window); }
+  double mean_latency_us() const { return latency.mean() / kMicrosecond; }
+  double p99_latency_us() const { return to_us(latency.p99()); }
+};
+
+class FioEngine {
+ public:
+  explicit FioEngine(core::Framework& framework) : fw_(framework) {}
+
+  /// Run one job spec to completion (drives the simulator).
+  FioResult run(const FioJobSpec& spec);
+
+ private:
+  core::Framework& fw_;
+};
+
+/// Convenience: one-shot latency probe — N sequential qd=1 ops, returning
+/// the mean latency (the Table II measurement methodology).
+Nanos probe_latency(core::Framework& framework, RwMode mode, std::uint64_t bs,
+                    unsigned samples = 50, std::uint64_t seed = 7);
+
+}  // namespace dk::workload

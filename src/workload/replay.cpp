@@ -1,0 +1,131 @@
+#include "workload/replay.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace dk::workload {
+
+namespace {
+
+Result<std::uint64_t> field_u64(std::string_view f, int line) {
+  std::uint64_t v = 0;
+  auto [p, ec] = std::from_chars(f.data(), f.data() + f.size(), v);
+  if (ec != std::errc() || p != f.data() + f.size())
+    return Status::Error(Errc::invalid_argument,
+                         "bad number in trace line " + std::to_string(line));
+  return v;
+}
+
+}  // namespace
+
+Result<std::vector<TraceOp>> parse_trace(std::string_view csv) {
+  std::vector<TraceOp> ops;
+  std::size_t pos = 0;
+  int line_no = 0;
+  while (pos <= csv.size()) {
+    const std::size_t eol = csv.find('\n', pos);
+    std::string_view line = csv.substr(
+        pos, eol == std::string_view::npos ? csv.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? csv.size() + 1 : eol + 1;
+    ++line_no;
+    if (line.empty() || line.front() == '#') continue;
+
+    // Split on commas into exactly 4 fields.
+    std::array<std::string_view, 4> fields;
+    std::size_t start = 0;
+    for (int f = 0; f < 4; ++f) {
+      const std::size_t comma = line.find(',', start);
+      if (f < 3 && comma == std::string_view::npos)
+        return Status::Error(Errc::invalid_argument,
+                             "short trace line " + std::to_string(line_no));
+      fields[static_cast<std::size_t>(f)] =
+          line.substr(start, comma == std::string_view::npos
+                                 ? line.size() - start
+                                 : comma - start);
+      start = comma + 1;
+    }
+
+    TraceOp op;
+    auto t = field_u64(fields[0], line_no);
+    if (!t.ok()) return t.status();
+    op.at = us(static_cast<double>(*t));
+    if (fields[1] == "W" || fields[1] == "w") op.is_write = true;
+    else if (fields[1] == "R" || fields[1] == "r") op.is_write = false;
+    else
+      return Status::Error(Errc::invalid_argument,
+                           "bad op in trace line " + std::to_string(line_no));
+    auto off = field_u64(fields[2], line_no);
+    if (!off.ok()) return off.status();
+    op.offset = *off;
+    auto len = field_u64(fields[3], line_no);
+    if (!len.ok()) return len.status();
+    op.length = *len;
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+std::string dump_trace(const std::vector<TraceOp>& ops) {
+  std::ostringstream os;
+  os << "# time_us,op,offset,length\n";
+  for (const TraceOp& op : ops) {
+    os << to_us(op.at) << ',' << (op.is_write ? 'W' : 'R') << ',' << op.offset
+       << ',' << op.length << '\n';
+  }
+  return os.str();
+}
+
+ReplayResult replay_trace(core::Framework& framework,
+                          const std::vector<TraceOp>& ops, bool honour_timing,
+                          unsigned closed_loop_depth) {
+  sim::Simulator& sim = framework.simulator();
+  ReplayResult result;
+  if (ops.empty()) return result;
+  const Nanos start = sim.now();
+  Nanos last_completion = start;
+
+  auto run_op = [&](const TraceOp& op, auto&& then) {
+    const Nanos issued = sim.now();
+    if (op.is_write) {
+      framework.write(0, op.offset,
+                      std::vector<std::uint8_t>(op.length, 0xAB),
+                      [&, issued, then](std::int32_t res) {
+                        ++result.ops;
+                        if (res < 0) ++result.errors;
+                        result.latency.record(sim.now() - issued);
+                        last_completion = std::max(last_completion, sim.now());
+                        then();
+                      });
+    } else {
+      framework.read(0, op.offset, op.length,
+                     [&, issued, then](Result<std::vector<std::uint8_t>> r) {
+                       ++result.ops;
+                       if (!r.ok()) ++result.errors;
+                       result.latency.record(sim.now() - issued);
+                       last_completion = std::max(last_completion, sim.now());
+                       then();
+                     });
+    }
+  };
+
+  if (honour_timing) {
+    // Open loop: schedule every op at its recorded time.
+    for (const TraceOp& op : ops)
+      sim.schedule_at(start + op.at, [&, op] { run_op(op, [] {}); });
+    sim.run();
+  } else {
+    // Closed loop: `depth` chains pulling from the trace in order.
+    std::size_t next = 0;
+    std::function<void()> pump = [&] {
+      if (next >= ops.size()) return;
+      const TraceOp& op = ops[next++];
+      run_op(op, [&] { pump(); });
+    };
+    for (unsigned d = 0; d < closed_loop_depth && d < ops.size(); ++d) pump();
+    sim.run();
+  }
+  result.makespan = last_completion - start;
+  return result;
+}
+
+}  // namespace dk::workload

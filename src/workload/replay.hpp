@@ -1,0 +1,48 @@
+// Block-trace replay: run a recorded I/O trace against any framework stack.
+//
+// Trace format (CSV, one op per line, '#' comments):
+//   time_us,op,offset,length
+//   0,W,0,4096
+//   120,R,8192,4096
+// `time_us` is the issue time relative to trace start; `op` is R or W.
+// Replay can honour recorded timing (open-loop, exposing queueing when the
+// stack is slower than the trace) or run as-fast-as-possible (closed-loop).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/status.hpp"
+#include "core/framework.hpp"
+
+namespace dk::workload {
+
+struct TraceOp {
+  Nanos at = 0;           // issue time relative to trace start
+  bool is_write = false;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+};
+
+/// Parse a CSV trace. Lines: time_us,op,offset,length.
+Result<std::vector<TraceOp>> parse_trace(std::string_view csv);
+
+/// Serialize ops back to CSV (for generating traces programmatically).
+std::string dump_trace(const std::vector<TraceOp>& ops);
+
+struct ReplayResult {
+  std::uint64_t ops = 0;
+  std::uint64_t errors = 0;
+  Nanos makespan = 0;        // first issue to last completion
+  LatencyHistogram latency;  // per-op completion latency
+};
+
+/// Replay a trace. `honour_timing` issues each op at its recorded time
+/// (open-loop); otherwise ops chain back-to-back per queue-depth slot.
+ReplayResult replay_trace(core::Framework& framework,
+                          const std::vector<TraceOp>& ops,
+                          bool honour_timing = true,
+                          unsigned closed_loop_depth = 8);
+
+}  // namespace dk::workload

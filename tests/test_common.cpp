@@ -1,0 +1,208 @@
+// Unit tests for src/common: units, RNG, histogram, ring buffers, status.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/ring_buffer.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "common/units.hpp"
+
+namespace dk {
+namespace {
+
+TEST(Units, Conversions) {
+  EXPECT_EQ(us(1.0), 1000);
+  EXPECT_EQ(ms(1.0), 1'000'000);
+  EXPECT_EQ(sec(1.0), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(to_us(1500), 1.5);
+  EXPECT_DOUBLE_EQ(to_ms(2'500'000), 2.5);
+}
+
+TEST(Units, ThroughputHelpers) {
+  // 1 MB in 1 second == 1 MB/s.
+  EXPECT_DOUBLE_EQ(mb_per_sec(1'000'000, kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(iops(1000, kSecond), 1000.0);
+  EXPECT_EQ(mb_per_sec(123, 0), 0.0);
+}
+
+TEST(Units, TransferTime) {
+  // 1 GiB at 1 GiB/s == 1 s.
+  EXPECT_EQ(transfer_time(GiB, static_cast<double>(GiB)), kSecond);
+  EXPECT_EQ(transfer_time(0, 1e9), 0);
+  // Nonzero work always takes at least 1 ns.
+  EXPECT_GE(transfer_time(1, 1e30), 1);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.below(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformMeanApproximatesHalf) {
+  Rng rng(3);
+  double sum = 0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(5);
+  double sum = 0;
+  constexpr int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(10.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.3);
+}
+
+TEST(Histogram, BasicStats) {
+  LatencyHistogram h;
+  h.record(us(10));
+  h.record(us(20));
+  h.record(us(30));
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), us(10));
+  EXPECT_EQ(h.max(), us(30));
+  EXPECT_NEAR(h.mean(), us(20), us(0.5));
+}
+
+TEST(Histogram, PercentileAccuracy) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(us(i));
+  // 3% relative error budget from bucketing.
+  EXPECT_NEAR(to_us(h.p50()), 500.0, 20.0);
+  EXPECT_NEAR(to_us(h.p99()), 990.0, 40.0);
+  EXPECT_LE(h.percentile(100.0), h.max());
+}
+
+TEST(Histogram, MergeCombinesCounts) {
+  LatencyHistogram a, b;
+  for (int i = 0; i < 100; ++i) a.record(us(10));
+  for (int i = 0; i < 100; ++i) b.record(us(1000));
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min(), us(10));
+  EXPECT_EQ(a.max(), us(1000));
+}
+
+TEST(Histogram, ResetClearsEverything) {
+  LatencyHistogram h;
+  h.record(us(5));
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.percentile(99), 0);
+}
+
+TEST(Histogram, NegativeValuesClampToZero) {
+  LatencyHistogram h;
+  h.record(-5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_LE(h.p50(), 1);
+}
+
+TEST(RingBuffer, PushPopFifoOrder) {
+  RingBuffer<int> rb(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(rb.push(i));
+  EXPECT_TRUE(rb.full());
+  EXPECT_FALSE(rb.push(99));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(rb.pop().value(), i);
+  EXPECT_FALSE(rb.pop().has_value());
+}
+
+TEST(RingBuffer, CapacityRoundsToPowerOfTwo) {
+  RingBuffer<int> rb(5);
+  EXPECT_EQ(rb.capacity(), 8u);
+}
+
+TEST(RingBuffer, WrapAroundManyTimes) {
+  RingBuffer<int> rb(4);
+  for (int round = 0; round < 100; ++round) {
+    EXPECT_TRUE(rb.push(round));
+    EXPECT_EQ(rb.pop().value(), round);
+  }
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(SpscRing, SingleThreadedBatch) {
+  SpscRing<int> ring(8);
+  int in[5] = {1, 2, 3, 4, 5};
+  EXPECT_EQ(ring.try_push_batch(in, 5), 5u);
+  int out[8] = {};
+  EXPECT_EQ(ring.try_pop_batch(out, 8), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(out[i], in[i]);
+}
+
+TEST(SpscRing, BatchPushRespectsCapacity) {
+  SpscRing<int> ring(4);
+  int in[10] = {};
+  EXPECT_EQ(ring.try_push_batch(in, 10), 4u);
+  EXPECT_EQ(ring.try_push_batch(in, 10), 0u);
+}
+
+TEST(SpscRing, CrossThreadStress) {
+  SpscRing<std::uint64_t> ring(64);
+  constexpr std::uint64_t kN = 200000;
+  std::uint64_t sum = 0;
+  std::thread consumer([&] {
+    std::uint64_t got = 0;
+    std::uint64_t v;
+    while (got < kN) {
+      if (ring.try_pop(v)) {
+        sum += v;
+        ++got;
+      }
+    }
+  });
+  for (std::uint64_t i = 1; i <= kN;) {
+    if (ring.try_push(i)) ++i;
+  }
+  consumer.join();
+  EXPECT_EQ(sum, kN * (kN + 1) / 2);
+}
+
+TEST(Status, OkAndErrorRoundTrip) {
+  Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  Status err = Status::Error(Errc::no_space, "disk full");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), Errc::no_space);
+  EXPECT_EQ(err.to_string(), "no_space: disk full");
+}
+
+TEST(Result, HoldsValueOrStatus) {
+  Result<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  Result<int> e(Errc::not_found, "nope");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), Errc::not_found);
+}
+
+}  // namespace
+}  // namespace dk

@@ -1,0 +1,262 @@
+// Integration tests for the DeLiBA framework variants: end-to-end data
+// integrity through every stack, variant trait behaviour, strategy
+// selection, ring accounting, DFX fallback, and structural latency ordering.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/framework.hpp"
+
+namespace dk::core {
+namespace {
+
+std::vector<std::uint8_t> pattern(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.below(256));
+  return v;
+}
+
+constexpr VariantKind kAllVariants[] = {
+    VariantKind::sw_ceph_d2, VariantKind::sw_delibak, VariantKind::deliba1,
+    VariantKind::deliba2, VariantKind::delibak};
+
+class VariantRoundTrip
+    : public ::testing::TestWithParam<std::tuple<VariantKind, PoolMode>> {};
+
+TEST_P(VariantRoundTrip, WriteThenReadReturnsSameBytes) {
+  const auto [variant, pool] = GetParam();
+  if (pool == PoolMode::erasure && !variant_traits(variant).supports_ec)
+    GTEST_SKIP() << "DeLiBA-1 has no EC accelerators";
+  sim::Simulator sim;
+  FrameworkConfig cfg;
+  cfg.variant = variant;
+  cfg.pool_mode = pool;
+  cfg.image_size = 64 * MiB;
+  Framework fw(sim, cfg);
+
+  auto data = pattern(8192, 42);
+  std::int32_t wres = 0;
+  fw.write(0, 12 * 8192, data, [&](std::int32_t r) { wres = r; });
+  sim.run();
+  ASSERT_EQ(wres, 8192);
+
+  Result<std::vector<std::uint8_t>> rres = Status::Error(Errc::timed_out);
+  fw.read(0, 12 * 8192, 8192,
+          [&](Result<std::vector<std::uint8_t>> r) { rres = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(rres.ok()) << rres.status().to_string();
+  EXPECT_EQ(*rres, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariantsBothPools, VariantRoundTrip,
+    ::testing::Combine(::testing::ValuesIn(kAllVariants),
+                       ::testing::Values(PoolMode::replicated,
+                                         PoolMode::erasure)),
+    [](const auto& info) {
+      std::string name(variant_short_name(std::get<0>(info.param)));
+      for (auto& ch : name)
+        if (ch == '-') ch = '_';
+      return name + (std::get<1>(info.param) == PoolMode::replicated
+                         ? "_repl"
+                         : "_ec");
+    });
+
+TEST(Framework, Deliba1RejectsEc) {
+  sim::Simulator sim;
+  FrameworkConfig cfg;
+  cfg.variant = VariantKind::deliba1;
+  cfg.pool_mode = PoolMode::erasure;
+  Framework fw(sim, cfg);
+  std::int32_t res = 0;
+  fw.write(0, 0, pattern(4096, 1), [&](std::int32_t r) { res = r; });
+  sim.run();
+  EXPECT_EQ(res, -static_cast<std::int32_t>(Errc::unsupported));
+}
+
+TEST(Framework, UringVariantsPostAndReapCqes) {
+  sim::Simulator sim;
+  FrameworkConfig cfg;
+  cfg.variant = VariantKind::delibak;
+  Framework fw(sim, cfg);
+  for (int i = 0; i < 5; ++i) {
+    fw.write(0, 4096ull * i, pattern(4096, i), [](std::int32_t) {});
+  }
+  sim.run();
+  auto stats = fw.urings()->total_stats();
+  EXPECT_EQ(stats.sqes_submitted, 5u);
+  EXPECT_EQ(stats.cqes_reaped, 5u);
+  EXPECT_EQ(stats.enter_calls, 0u) << "kernel-polled mode needs no enter()";
+  EXPECT_GT(stats.sq_poll_wakeups, 0u);
+}
+
+TEST(Framework, NbdVariantsHaveNoRings) {
+  sim::Simulator sim;
+  FrameworkConfig cfg;
+  cfg.variant = VariantKind::deliba2;
+  Framework fw(sim, cfg);
+  EXPECT_EQ(fw.urings(), nullptr);
+}
+
+TEST(Framework, SoftwareVariantsHaveNoFpga) {
+  sim::Simulator sim;
+  FrameworkConfig cfg;
+  cfg.variant = VariantKind::sw_ceph_d2;
+  Framework fw(sim, cfg);
+  EXPECT_EQ(fw.fpga(), nullptr);
+  cfg.variant = VariantKind::delibak;
+  sim::Simulator sim2;
+  Framework fw2(sim2, cfg);
+  EXPECT_NE(fw2.fpga(), nullptr);
+}
+
+TEST(Framework, JobsSpreadOverUringInstances) {
+  sim::Simulator sim;
+  FrameworkConfig cfg;
+  cfg.variant = VariantKind::delibak;
+  cfg.uring_instances = 3;
+  Framework fw(sim, cfg);
+  for (unsigned job = 0; job < 3; ++job)
+    fw.write(job, 4096ull * job, pattern(4096, job), [](std::int32_t) {});
+  sim.run();
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_EQ(fw.urings()->ring(i).stats().sqes_submitted, 1u)
+        << "instance " << i;
+}
+
+TEST(Framework, StrategySelectionMatchesPaperArchitecture) {
+  sim::Simulator sim;
+  {
+    FrameworkConfig cfg;
+    cfg.variant = VariantKind::delibak;
+    Framework fw(sim, cfg);
+    EXPECT_EQ(fw.write_strategy(), rados::WriteStrategy::client_fanout);
+  }
+  {
+    FrameworkConfig cfg;
+    cfg.variant = VariantKind::deliba2;
+    Framework fw(sim, cfg);
+    EXPECT_EQ(fw.write_strategy(), rados::WriteStrategy::primary_copy);
+  }
+  {
+    FrameworkConfig cfg;
+    cfg.variant = VariantKind::delibak;
+    cfg.pool_mode = PoolMode::erasure;
+    Framework fw(sim, cfg);
+    EXPECT_EQ(fw.write_strategy(), rados::WriteStrategy::client_fanout);
+    EXPECT_EQ(fw.read_strategy(), rados::ReadStrategy::direct_shards);
+  }
+  {
+    FrameworkConfig cfg;
+    cfg.variant = VariantKind::sw_ceph_d2;
+    cfg.pool_mode = PoolMode::erasure;
+    Framework fw(sim, cfg);
+    EXPECT_EQ(fw.write_strategy(), rados::WriteStrategy::primary_copy);
+    EXPECT_EQ(fw.read_strategy(), rados::ReadStrategy::primary);
+  }
+}
+
+TEST(Framework, SubmitCostOrderingD3FastestD1Slowest) {
+  sim::Simulator sim;
+  std::map<VariantKind, Nanos> cost;
+  for (VariantKind v :
+       {VariantKind::deliba1, VariantKind::deliba2, VariantKind::delibak}) {
+    FrameworkConfig cfg;
+    cfg.variant = v;
+    Framework fw(sim, cfg);
+    cost[v] = fw.host_submit_cost(true, 4096);
+  }
+  EXPECT_LT(cost[VariantKind::delibak], cost[VariantKind::deliba2]);
+  EXPECT_LT(cost[VariantKind::deliba2], cost[VariantKind::deliba1]);
+}
+
+TEST(Framework, CopyCostScalesWithBlockSizeOnlyForCopyingVariants) {
+  sim::Simulator sim;
+  FrameworkConfig cfg;
+  cfg.variant = VariantKind::deliba2;
+  Framework d2(sim, cfg);
+  cfg.variant = VariantKind::delibak;
+  Framework d3(sim, cfg);
+  const Nanos d2_delta = d2.host_submit_cost(true, 128 * 1024) -
+                         d2.host_submit_cost(true, 4096);
+  const Nanos d3_delta = d3.host_submit_cost(true, 128 * 1024) -
+                         d3.host_submit_cost(true, 4096);
+  EXPECT_GT(d2_delta, us(200)) << "5 copies of 128k dominate D2's submit";
+  EXPECT_EQ(d3_delta, 0) << "zero-copy: D3 submit cost is size-independent";
+}
+
+TEST(Framework, FpgaPlacementsCountedAndKernelFallback) {
+  sim::Simulator sim;
+  FrameworkConfig cfg;
+  cfg.variant = VariantKind::delibak;
+  cfg.placement_alg = crush::BucketAlg::tree;  // tree is a DFX RM
+  Framework fw(sim, cfg);
+  // RM not loaded -> placements fall back to host CRUSH.
+  fw.write(0, 0, pattern(4096, 1), [](std::int32_t) {});
+  sim.run();
+  EXPECT_GT(fw.stats().sw_placement_fallbacks, 0u);
+  EXPECT_EQ(fw.stats().fpga_placements, 0u);
+
+  // Load the Tree RM, then placements run on the FPGA.
+  ASSERT_TRUE(fw.fpga()->dfx().load_rm(fpga::KernelKind::tree, [] {}).ok());
+  sim.run();
+  fw.write(0, 4096, pattern(4096, 2), [](std::int32_t) {});
+  sim.run();
+  EXPECT_GT(fw.stats().fpga_placements, 0u);
+}
+
+TEST(Framework, DmqBypassAblationChangesSchedulerUse) {
+  sim::Simulator sim;
+  FrameworkConfig cfg;
+  cfg.variant = VariantKind::delibak;
+  cfg.dmq_bypass_override = false;
+  Framework fw(sim, cfg);
+  fw.write(0, 0, pattern(4096, 1), [](std::int32_t) {});
+  sim.run();
+  EXPECT_EQ(fw.mq().stats().sched_bypass, 0u);
+  EXPECT_GT(fw.host_submit_cost(true, 4096),
+            [&] {
+              FrameworkConfig c2 = cfg;
+              c2.dmq_bypass_override = true;
+              sim::Simulator s2;
+              Framework f2(s2, c2);
+              return f2.host_submit_cost(true, 4096);
+            }());
+}
+
+TEST(Framework, OutOfRangeWriteFails) {
+  sim::Simulator sim;
+  FrameworkConfig cfg;
+  cfg.variant = VariantKind::delibak;
+  cfg.image_size = 8 * MiB;
+  Framework fw(sim, cfg);
+  std::int32_t res = 0;
+  fw.write(0, 8 * MiB - 100, pattern(4096, 3), [&](std::int32_t r) { res = r; });
+  sim.run();
+  EXPECT_LT(res, 0);
+}
+
+TEST(Framework, EcDegradedReadStillReturnsData) {
+  sim::Simulator sim;
+  FrameworkConfig cfg;
+  cfg.variant = VariantKind::delibak;
+  cfg.pool_mode = PoolMode::erasure;
+  cfg.image_size = 32 * MiB;
+  Framework fw(sim, cfg);
+  auto data = pattern(16384, 9);
+  fw.write(0, 0, data, [](std::int32_t) {});
+  sim.run();
+  // Take down one shard OSD of the object's acting set.
+  const std::uint64_t oid = fw.image().oid_of(0);
+  auto acting = fw.cluster().acting_set(1 - 1 + 0, oid);  // pool id 0
+  ASSERT_GE(acting.size(), 6u);
+  fw.cluster().set_osd_down(acting[1], true);
+  Result<std::vector<std::uint8_t>> r = Status::Error(Errc::timed_out);
+  fw.read(0, 0, 16384, [&](Result<std::vector<std::uint8_t>> x) { r = std::move(x); });
+  sim.run();
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_EQ(*r, data);
+}
+
+}  // namespace
+}  // namespace dk::core

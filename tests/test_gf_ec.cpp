@@ -1,0 +1,206 @@
+// Tests for GF(2^8) arithmetic, matrix algebra, and Reed-Solomon coding.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "ec/reed_solomon.hpp"
+#include "gf/gf256.hpp"
+#include "gf/matrix.hpp"
+
+namespace dk {
+namespace {
+
+TEST(Gf256, AdditionIsXor) {
+  EXPECT_EQ(gf::add(0x53, 0xCA), 0x53 ^ 0xCA);
+  EXPECT_EQ(gf::add(7, 7), 0);
+}
+
+TEST(Gf256, MultiplicativeIdentityAndZero) {
+  for (unsigned a = 0; a < 256; ++a) {
+    EXPECT_EQ(gf::mul(static_cast<std::uint8_t>(a), 1), a);
+    EXPECT_EQ(gf::mul(static_cast<std::uint8_t>(a), 0), 0);
+  }
+}
+
+TEST(Gf256, KnownProduct) {
+  // In GF(2^8)/0x11d: 0x80 * 2 = 0x100, reduced by the primitive polynomial
+  // to 0x100 ^ 0x11d == 0x1d. And 2 is a generator: 2^255 == 1.
+  EXPECT_EQ(gf::mul(0x80, 0x02), 0x1d);
+  EXPECT_EQ(gf::pow(2, 255), 1);
+  EXPECT_EQ(gf::mul(0x53, gf::inv(0x53)), 0x01);
+}
+
+TEST(Gf256, EveryNonzeroHasInverse) {
+  for (unsigned a = 1; a < 256; ++a) {
+    const auto ai = gf::inv(static_cast<std::uint8_t>(a));
+    EXPECT_EQ(gf::mul(static_cast<std::uint8_t>(a), ai), 1) << "a=" << a;
+  }
+}
+
+TEST(Gf256, MultiplicationCommutesAndAssociates) {
+  Rng rng(123);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.below(256));
+    const auto b = static_cast<std::uint8_t>(rng.below(256));
+    const auto c = static_cast<std::uint8_t>(rng.below(256));
+    EXPECT_EQ(gf::mul(a, b), gf::mul(b, a));
+    EXPECT_EQ(gf::mul(gf::mul(a, b), c), gf::mul(a, gf::mul(b, c)));
+    // Distributivity.
+    EXPECT_EQ(gf::mul(a, gf::add(b, c)),
+              gf::add(gf::mul(a, b), gf::mul(a, c)));
+  }
+}
+
+TEST(Gf256, PowMatchesRepeatedMul) {
+  for (unsigned a = 1; a < 256; a += 17) {
+    std::uint8_t acc = 1;
+    for (unsigned e = 0; e < 10; ++e) {
+      EXPECT_EQ(gf::pow(static_cast<std::uint8_t>(a), e), acc);
+      acc = gf::mul(acc, static_cast<std::uint8_t>(a));
+    }
+  }
+}
+
+TEST(Gf256, RegionOpsMatchScalar) {
+  Rng rng(9);
+  std::vector<std::uint8_t> src(257), dst(257), expect(257);
+  for (auto& b : src) b = static_cast<std::uint8_t>(rng.below(256));
+  for (auto& b : dst) b = static_cast<std::uint8_t>(rng.below(256));
+  expect = dst;
+  const std::uint8_t c = 0x37;
+  for (std::size_t i = 0; i < src.size(); ++i)
+    expect[i] ^= gf::mul(c, src[i]);
+  gf::mul_add_region(c, src, dst);
+  EXPECT_EQ(dst, expect);
+}
+
+TEST(GfMatrix, IdentityMultiplication) {
+  auto i4 = gf::Matrix::identity(4);
+  auto v = gf::Matrix::systematic_vandermonde(4, 2);
+  auto top = v.select_rows({0, 1, 2, 3});
+  EXPECT_EQ(top, i4) << "systematic generator top block must be identity";
+}
+
+TEST(GfMatrix, CauchyTopBlockIsIdentity) {
+  auto g = gf::Matrix::cauchy(5, 3);
+  EXPECT_EQ(g.select_rows({0, 1, 2, 3, 4}), gf::Matrix::identity(5));
+}
+
+TEST(GfMatrix, InversionRoundTrip) {
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    gf::Matrix m(5, 5);
+    for (std::size_t r = 0; r < 5; ++r)
+      for (std::size_t c = 0; c < 5; ++c)
+        m.at(r, c) = static_cast<std::uint8_t>(rng.below(256));
+    auto inv = m.inverted();
+    if (!inv.ok()) continue;  // singular draw; skip
+    EXPECT_EQ(m.multiply(*inv), gf::Matrix::identity(5));
+  }
+}
+
+TEST(GfMatrix, SingularMatrixDetected) {
+  gf::Matrix m(3, 3);  // all zeros
+  EXPECT_FALSE(m.inverted().ok());
+}
+
+TEST(GfMatrix, VandermondeAnyKRowsInvertible) {
+  // The MDS property: every k-subset of generator rows is invertible.
+  constexpr std::size_t k = 4, m = 2;
+  auto g = gf::Matrix::systematic_vandermonde(k, m);
+  std::vector<std::size_t> idx(k + m);
+  std::iota(idx.begin(), idx.end(), 0);
+  // Enumerate all C(6,4) = 15 subsets.
+  for (std::size_t a = 0; a < k + m; ++a)
+    for (std::size_t b = a + 1; b < k + m; ++b) {
+      std::vector<std::size_t> rows;
+      for (std::size_t i = 0; i < k + m; ++i)
+        if (i != a && i != b) rows.push_back(i);
+      EXPECT_TRUE(g.select_rows(rows).inverted().ok())
+          << "dropped rows " << a << "," << b;
+    }
+}
+
+class RsRoundTrip
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned, ec::GeneratorKind>> {};
+
+TEST_P(RsRoundTrip, EncodeDecodeAllErasurePatterns) {
+  const auto [k, m, kind] = GetParam();
+  ec::ReedSolomon rs({k, m, kind});
+  Rng rng(1000 + k * 10 + m);
+  std::vector<std::uint8_t> object(4096 + 13);  // non-multiple of k
+  for (auto& b : object) b = static_cast<std::uint8_t>(rng.below(256));
+
+  auto data = rs.split(object);
+  auto coding = rs.encode(data);
+  ASSERT_TRUE(coding.ok());
+
+  std::vector<std::optional<ec::Chunk>> all;
+  for (const auto& c : data) all.emplace_back(c);
+  for (const auto& c : *coding) all.emplace_back(c);
+
+  // Erase every possible pair (m == 2) or single (m == 1), then decode.
+  const unsigned total = k + m;
+  for (unsigned e1 = 0; e1 < total; ++e1) {
+    for (unsigned e2 = e1 + (m >= 2 ? 1 : 0); e2 < (m >= 2 ? total : e1 + 1);
+         ++e2) {
+      auto damaged = all;
+      damaged[e1].reset();
+      if (m >= 2) damaged[e2].reset();
+      auto decoded = rs.decode(damaged);
+      ASSERT_TRUE(decoded.ok()) << "erased " << e1 << "," << e2;
+      EXPECT_EQ(rs.assemble(*decoded, object.size()), object);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Profiles, RsRoundTrip,
+    ::testing::Values(
+        std::make_tuple(2u, 1u, ec::GeneratorKind::vandermonde),
+        std::make_tuple(4u, 2u, ec::GeneratorKind::vandermonde),
+        std::make_tuple(4u, 2u, ec::GeneratorKind::cauchy),
+        std::make_tuple(6u, 3u, ec::GeneratorKind::vandermonde),
+        std::make_tuple(8u, 4u, ec::GeneratorKind::cauchy)));
+
+TEST(ReedSolomon, TooManyErasuresFails) {
+  ec::ReedSolomon rs({4, 2, ec::GeneratorKind::vandermonde});
+  std::vector<std::uint8_t> object(1024, 0xAB);
+  auto data = rs.split(object);
+  auto coding = rs.encode(data);
+  ASSERT_TRUE(coding.ok());
+  std::vector<std::optional<ec::Chunk>> all;
+  for (const auto& c : data) all.emplace_back(c);
+  for (const auto& c : *coding) all.emplace_back(c);
+  all[0].reset();
+  all[1].reset();
+  all[2].reset();  // 3 erasures > m=2
+  EXPECT_FALSE(rs.decode(all).ok());
+}
+
+TEST(ReedSolomon, SplitPadsAndAssembleTruncates) {
+  ec::ReedSolomon rs({4, 2, ec::GeneratorKind::vandermonde});
+  std::vector<std::uint8_t> object(10, 0x42);
+  auto data = rs.split(object);
+  ASSERT_EQ(data.size(), 4u);
+  EXPECT_EQ(data[0].size(), 3u);  // ceil(10/4)
+  EXPECT_EQ(rs.assemble(data, object.size()), object);
+}
+
+TEST(ReedSolomon, EncodeRejectsWrongChunkCount) {
+  ec::ReedSolomon rs({4, 2, ec::GeneratorKind::vandermonde});
+  std::vector<ec::Chunk> three(3, ec::Chunk(16, 0));
+  EXPECT_FALSE(rs.encode(three).ok());
+}
+
+TEST(ReedSolomon, EncodeOpsScalesWithKM) {
+  ec::ReedSolomon a({4, 2, ec::GeneratorKind::vandermonde});
+  ec::ReedSolomon b({8, 4, ec::GeneratorKind::vandermonde});
+  EXPECT_GT(b.encode_ops(4096), a.encode_ops(4096));
+  EXPECT_EQ(a.encode_ops(4096), 2ull * 4 * 1024);
+}
+
+}  // namespace
+}  // namespace dk

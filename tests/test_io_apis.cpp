@@ -1,0 +1,118 @@
+// Tests for the §II traditional-I/O-API model: page cache behaviour,
+// mmap faulting, O_DIRECT alignment, and the libaio degradation semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "host/io_apis.hpp"
+
+namespace dk::host {
+namespace {
+
+constexpr std::uint64_t kPage = IoApis::kPageBytes;
+
+class IoApisFixture : public ::testing::Test {
+ protected:
+  IoApisFixture() : device_(256 * kPage, us(25)), apis_(device_, 16) {}
+
+  MemoryBackingDevice device_;
+  IoApis apis_;
+};
+
+TEST_F(IoApisFixture, BufferedWriteReadRoundTrip) {
+  std::vector<std::uint8_t> w(kPage, 0x7E);
+  apis_.write(3 * kPage, w);
+  std::vector<std::uint8_t> r(kPage, 0);
+  apis_.read(3 * kPage, r);
+  EXPECT_EQ(r, w);
+  EXPECT_GE(apis_.stats().syscalls, 2u);
+}
+
+TEST_F(IoApisFixture, CacheHitIsCheaperThanMiss) {
+  std::vector<std::uint8_t> buf(kPage);
+  const Nanos miss = apis_.read(5 * kPage, buf);
+  const Nanos hit = apis_.read(5 * kPage, buf);
+  EXPECT_LT(hit, miss);
+  EXPECT_GE(miss - hit, us(20)) << "miss pays the device access";
+  EXPECT_EQ(apis_.stats().hits, 1u);
+  EXPECT_EQ(apis_.stats().misses, 1u);
+}
+
+TEST_F(IoApisFixture, LruEvictionWritesBackDirtyPages) {
+  std::vector<std::uint8_t> w(kPage, 0x11);
+  // Dirty one page, then stream 20 more pages through a 16-page cache.
+  apis_.write(0, w);
+  std::vector<std::uint8_t> buf(kPage);
+  for (std::uint64_t p = 1; p <= 20; ++p) apis_.read(p * kPage, buf);
+  EXPECT_GT(apis_.stats().evictions, 0u);
+  EXPECT_GE(apis_.stats().writebacks, 1u) << "dirty page 0 must write back";
+  EXPECT_LE(apis_.cached_pages(), 16u);
+  // The written data survives eviction (read back through the device).
+  std::vector<std::uint8_t> r(kPage);
+  apis_.read(0, r);
+  EXPECT_EQ(r, w);
+}
+
+TEST_F(IoApisFixture, FsyncFlushesAllDirtyPages) {
+  std::vector<std::uint8_t> w(kPage, 0x22);
+  apis_.write(1 * kPage, w);
+  apis_.write(2 * kPage, w);
+  EXPECT_EQ(apis_.dirty_pages(), 2u);
+  const Nanos cost = apis_.fsync();
+  EXPECT_EQ(apis_.dirty_pages(), 0u);
+  EXPECT_GE(cost, us(50)) << "two device writebacks";
+}
+
+TEST_F(IoApisFixture, MmapFaultsOnceThenMemorySpeed) {
+  std::vector<std::uint8_t> buf(kPage);
+  const Nanos first = apis_.mmap_access(7 * kPage, buf, false);
+  const Nanos second = apis_.mmap_access(7 * kPage, buf, false);
+  EXPECT_EQ(apis_.stats().page_faults, 1u);
+  EXPECT_GT(first, us(25));
+  EXPECT_EQ(second, 0) << "resident mmap access costs nothing extra";
+}
+
+TEST_F(IoApisFixture, MmapWriteVisibleToBufferedRead) {
+  std::vector<std::uint8_t> w(kPage, 0x9A);
+  apis_.mmap_access(4 * kPage, {}, true, w);
+  std::vector<std::uint8_t> r(kPage);
+  apis_.read(4 * kPage, r);
+  EXPECT_EQ(r, w);
+}
+
+TEST_F(IoApisFixture, DirectIoRequiresAlignment) {
+  std::vector<std::uint8_t> buf(kPage);
+  EXPECT_TRUE(apis_.direct_read(0, buf).ok());
+  EXPECT_FALSE(apis_.direct_read(100, buf).ok());
+  std::vector<std::uint8_t> odd(100);
+  EXPECT_FALSE(apis_.direct_read(0, odd).ok());
+}
+
+TEST_F(IoApisFixture, DirectIoBypassesCache) {
+  std::vector<std::uint8_t> buf(kPage);
+  ASSERT_TRUE(apis_.direct_read(8 * kPage, buf).ok());
+  ASSERT_TRUE(apis_.direct_read(8 * kPage, buf).ok());
+  EXPECT_EQ(apis_.cached_pages(), 0u);
+  EXPECT_EQ(apis_.stats().hits, 0u);
+}
+
+TEST_F(IoApisFixture, AioDirectIsAsyncButBufferedDegrades) {
+  std::vector<std::uint8_t> buf(kPage);
+  const Nanos direct = apis_.aio_submit(true, false, 9 * kPage, buf);
+  // Submitter cost with O_DIRECT excludes the 25 us device access.
+  EXPECT_LT(direct, us(10));
+  const Nanos buffered = apis_.aio_submit(false, false, 10 * kPage, buf);
+  EXPECT_GT(buffered, us(25)) << "buffered AIO degrades to synchronous";
+}
+
+TEST_F(IoApisFixture, SequentialBufferedScanHitsAfterFirstPass) {
+  std::vector<std::uint8_t> buf(kPage);
+  for (std::uint64_t p = 0; p < 8; ++p) apis_.read(p * kPage, buf);
+  const auto misses_first = apis_.stats().misses;
+  for (std::uint64_t p = 0; p < 8; ++p) apis_.read(p * kPage, buf);
+  EXPECT_EQ(apis_.stats().misses, misses_first) << "second pass fully cached";
+  EXPECT_GE(apis_.stats().hits, 8u);
+}
+
+}  // namespace
+}  // namespace dk::host

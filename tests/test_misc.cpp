@@ -1,0 +1,65 @@
+// Remaining odds and ends: the table printer, TCP/IP latency edges, RBD
+// statistics, simulator run_until semantics after drain, and status text.
+#include <gtest/gtest.h>
+
+#include "common/table.hpp"
+#include "fpga/tcpip.hpp"
+#include "sim/simulator.hpp"
+
+namespace dk {
+namespace {
+
+TEST(TextTable, AlignsColumnsAndPadsRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name"});  // short row padded
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name      | value |"), std::string::npos);
+  EXPECT_NE(s.find("| long-name |       |"), std::string::npos);
+  // Separator row present.
+  EXPECT_NE(s.find("|-"), std::string::npos);
+}
+
+TEST(TextTable, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(10.0, 0), "10");
+}
+
+TEST(TcpIpLatency, MultiFrameMessagesSumPerPacket) {
+  fpga::TcpIpOffload tcp;
+  const Nanos one = tcp.message_latency(1000);
+  const Nanos many = tcp.message_latency(9000 * 5);  // ~6 jumbo segments
+  EXPECT_GT(many, 4 * one);
+  // Zero-payload messages still traverse one (minimum-size) packet.
+  EXPECT_GT(tcp.message_latency(0), 0);
+  EXPECT_GE(tcp.packet_latency(1), tcp.packet_latency(0));
+}
+
+TEST(Simulator, RunUntilThenScheduleStillWorks) {
+  sim::Simulator sim;
+  sim.run_until(ms(5));
+  EXPECT_EQ(sim.now(), ms(5));
+  bool fired = false;
+  sim.schedule_after(us(10), [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now(), ms(5) + us(10));
+}
+
+TEST(Simulator, ExecutedEventCountTracks) {
+  sim::Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_after(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 7u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Status, ErrcNamesAreStable) {
+  EXPECT_EQ(errc_name(Errc::ok), "ok");
+  EXPECT_EQ(errc_name(Errc::again), "again");
+  EXPECT_EQ(errc_name(Errc::corrupted), "corrupted");
+  EXPECT_EQ(Status::Ok().to_string(), "ok");
+}
+
+}  // namespace
+}  // namespace dk

@@ -1,0 +1,122 @@
+// Tests for block-trace replay and the live SQ-poll thread.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <chrono>
+
+#include "common/units.hpp"
+#include "core/framework.hpp"
+#include "uring/poller.hpp"
+#include "uring/ramdisk.hpp"
+#include "workload/replay.hpp"
+
+namespace dk {
+namespace {
+
+TEST(TraceParse, RoundTrip) {
+  const char* csv =
+      "# a trace\n"
+      "0,W,0,4096\n"
+      "150,R,8192,4096\n"
+      "300,W,4096,8192\n";
+  auto ops = workload::parse_trace(csv);
+  ASSERT_TRUE(ops.ok()) << ops.status().to_string();
+  ASSERT_EQ(ops->size(), 3u);
+  EXPECT_EQ((*ops)[0].at, 0);
+  EXPECT_TRUE((*ops)[0].is_write);
+  EXPECT_EQ((*ops)[1].at, us(150));
+  EXPECT_FALSE((*ops)[1].is_write);
+  EXPECT_EQ((*ops)[2].length, 8192u);
+
+  auto reparsed = workload::parse_trace(workload::dump_trace(*ops));
+  ASSERT_TRUE(reparsed.ok());
+  ASSERT_EQ(reparsed->size(), 3u);
+  EXPECT_EQ((*reparsed)[2].offset, 4096u);
+}
+
+TEST(TraceParse, RejectsMalformedLines) {
+  EXPECT_FALSE(workload::parse_trace("0,W,0\n").ok());
+  EXPECT_FALSE(workload::parse_trace("0,X,0,4096\n").ok());
+  EXPECT_FALSE(workload::parse_trace("abc,W,0,4096\n").ok());
+}
+
+TEST(TraceReplay, OpenLoopHonoursIssueTimes) {
+  sim::Simulator sim;
+  core::FrameworkConfig cfg;
+  cfg.variant = core::VariantKind::delibak;
+  cfg.image_size = 16 * MiB;
+  core::Framework fw(sim, cfg);
+
+  std::vector<workload::TraceOp> ops;
+  for (int i = 0; i < 20; ++i)
+    ops.push_back({us(500.0 * i), i % 2 == 0, 4096ull * i, 4096});
+  auto r = workload::replay_trace(fw, ops, /*honour_timing=*/true);
+  EXPECT_EQ(r.ops, 20u);
+  EXPECT_EQ(r.errors, 0u);
+  // Last op issues at 9.5 ms; makespan must cover that plus its latency.
+  EXPECT_GT(r.makespan, us(9500));
+  EXPECT_LT(r.makespan, us(9500) + ms(1));
+}
+
+TEST(TraceReplay, ClosedLoopRunsFasterThanOpenLoop) {
+  auto run = [](bool honour) {
+    sim::Simulator sim;
+    core::FrameworkConfig cfg;
+    cfg.variant = core::VariantKind::delibak;
+    cfg.image_size = 16 * MiB;
+    core::Framework fw(sim, cfg);
+    std::vector<workload::TraceOp> ops;
+    for (int i = 0; i < 50; ++i)
+      ops.push_back({ms(2.0 * i), true, 4096ull * i, 4096});  // sparse trace
+    return workload::replay_trace(fw, ops, honour).makespan;
+  };
+  EXPECT_LT(run(false), run(true) / 4)
+      << "closed-loop compresses a sparse trace";
+}
+
+TEST(SqPollThread, DrivesRingWithoutEnterCalls) {
+  uring::RamDisk disk(1 * MiB);
+  uring::IoUring ring({.sq_entries = 64, .mode = uring::RingMode::kernel_polled},
+                      disk);
+  uring::SqPollThread poller({&ring});
+
+  std::array<std::uint8_t, 512> buf{};
+  constexpr int kOps = 200;
+  int reaped = 0;
+  std::array<uring::Cqe, 16> cqes;
+  for (int i = 0; i < kOps; ++i) {
+    while (!ring.prep_write(0, reinterpret_cast<std::uint64_t>(buf.data()),
+                            buf.size(), (i % 128) * 512ull, i)
+                .ok()) {
+      reaped += ring.peek_cqes(cqes);  // SQ full: reap to make room
+    }
+    reaped += ring.peek_cqes(cqes);
+  }
+  // Wait for the poller to drain the tail.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (reaped < kOps && std::chrono::steady_clock::now() < deadline)
+    reaped += ring.peek_cqes(cqes);
+  poller.stop();
+
+  EXPECT_EQ(reaped, kOps);
+  EXPECT_EQ(ring.stats().enter_calls, 0u);
+  EXPECT_GT(ring.stats().sq_poll_wakeups, 0u);
+  EXPECT_GT(poller.polls(), 0u);
+}
+
+TEST(SqPollThread, NapsWhenIdle) {
+  uring::RamDisk disk(4096);
+  uring::IoUring ring({.sq_entries = 8, .mode = uring::RingMode::kernel_polled},
+                      disk);
+  uring::SqPollThread poller({&ring},
+                             {.idle_spins = 8, .nap = std::chrono::microseconds(100)});
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (poller.naps() == 0 && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::yield();
+  EXPECT_GT(poller.naps(), 0u) << "idle poller must back off";
+  poller.stop();
+}
+
+}  // namespace
+}  // namespace dk

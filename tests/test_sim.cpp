@@ -1,0 +1,144 @@
+// Tests for the discrete-event simulator core and queueing resources.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/resources.hpp"
+#include "sim/simulator.hpp"
+
+namespace dk::sim {
+namespace {
+
+TEST(Simulator, EventsRunInTimestampOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(us(30), [&] { order.push_back(3); });
+  sim.schedule_at(us(10), [&] { order.push_back(1); });
+  sim.schedule_at(us(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), us(30));
+}
+
+TEST(Simulator, TiesBreakInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    sim.schedule_at(us(10), [&order, i] { order.push_back(i); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, EventsMayScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 10) sim.schedule_after(us(1), chain);
+  };
+  sim.schedule_after(us(1), chain);
+  sim.run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_EQ(sim.now(), us(10));
+}
+
+TEST(Simulator, PastSchedulingClampsToNow) {
+  Simulator sim;
+  sim.schedule_at(us(10), [] {});
+  sim.run();
+  Nanos fired_at = -1;
+  sim.schedule_at(us(5), [&] { fired_at = sim.now(); });  // in the past
+  sim.run();
+  EXPECT_EQ(fired_at, us(10));
+}
+
+TEST(Simulator, RunUntilLeavesLaterEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(us(10), [&] { ++fired; });
+  sim.schedule_at(us(30), [&] { ++fired; });
+  sim.run_until(us(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), us(20));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(FifoServer, SingleServerSerializesJobs) {
+  Simulator sim;
+  FifoServer server(sim, 1);
+  std::vector<Nanos> done;
+  for (int i = 0; i < 3; ++i)
+    server.submit(us(10), [&] { done.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ(done, (std::vector<Nanos>{us(10), us(20), us(30)}));
+  EXPECT_EQ(server.completed(), 3u);
+}
+
+TEST(FifoServer, ParallelServersOverlap) {
+  Simulator sim;
+  FifoServer server(sim, 2);
+  std::vector<Nanos> done;
+  for (int i = 0; i < 4; ++i)
+    server.submit(us(10), [&] { done.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ(done, (std::vector<Nanos>{us(10), us(10), us(20), us(20)}));
+}
+
+TEST(FifoServer, UtilizationAccounting) {
+  Simulator sim;
+  FifoServer server(sim, 1);
+  server.submit(us(25), [] {});
+  sim.run();
+  EXPECT_DOUBLE_EQ(server.utilization(us(50), 1), 0.5);
+}
+
+TEST(BandwidthChannel, SerializationDelay) {
+  Simulator sim;
+  // 1000 bytes/s, zero propagation latency: 500 bytes takes 0.5 s.
+  BandwidthChannel link(sim, 1000.0, 0);
+  Nanos done = 0;
+  link.transfer(500, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_EQ(done, kSecond / 2);
+}
+
+TEST(BandwidthChannel, BackToBackTransfersQueue) {
+  Simulator sim;
+  BandwidthChannel link(sim, 1000.0, us(10));
+  std::vector<Nanos> done;
+  link.transfer(1000, [&] { done.push_back(sim.now()); });
+  link.transfer(1000, [&] { done.push_back(sim.now()); });
+  sim.run();
+  // Serialization serializes (1 s each); latency is per-transfer additive.
+  EXPECT_EQ(done[0], kSecond + us(10));
+  EXPECT_EQ(done[1], 2 * kSecond + us(10));
+}
+
+TEST(BandwidthChannel, AchievedThroughputMatchesRate) {
+  Simulator sim;
+  const double rate = 1.225e9;  // ~10 GbE payload rate, bytes/s
+  BandwidthChannel link(sim, rate, us(5));
+  std::uint64_t remaining = 200;
+  std::function<void()> pump = [&] {
+    if (remaining-- == 0) return;
+    link.transfer(128 * 1024, pump);
+  };
+  pump();
+  sim.run();
+  const double mbps = link.achieved_mbps(sim.now());
+  EXPECT_NEAR(mbps, rate / 1e6, rate / 1e6 * 0.05);
+}
+
+TEST(BandwidthChannel, ZeroByteTransferOnlyPaysLatency) {
+  Simulator sim;
+  BandwidthChannel link(sim, 1000.0, us(7));
+  Nanos done = -1;
+  link.transfer(0, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_EQ(done, us(7));
+}
+
+}  // namespace
+}  // namespace dk::sim

@@ -1,0 +1,172 @@
+// Tests for advanced io_uring features: linked SQEs (IOSQE_IO_LINK),
+// registered (fixed) buffers, and registered files.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/units.hpp"
+#include "uring/io_uring.hpp"
+#include "uring/ramdisk.hpp"
+
+namespace dk::uring {
+namespace {
+
+TEST(UringLink, ChainExecutesInOrder) {
+  // write(A) -> read(A into B): the read must observe the write because the
+  // link serializes them even through a deferred-completion device.
+  RamDisk disk(1 * MiB, /*deferred=*/true);
+  IoUring ring({.sq_entries = 16, .mode = RingMode::interrupt}, disk);
+
+  std::array<std::uint8_t, 512> wbuf;
+  wbuf.fill(0xAB);
+  std::array<std::uint8_t, 512> rbuf{};
+  Sqe w{Opcode::write, kSqeLink, 0, 4096,
+        reinterpret_cast<std::uint64_t>(wbuf.data()), 512, 1};
+  Sqe r{Opcode::read, 0, 0, 4096,
+        reinterpret_cast<std::uint64_t>(rbuf.data()), 512, 2};
+  ASSERT_TRUE(ring.prep(w).ok());
+  ASSERT_TRUE(ring.prep(r).ok());
+  ring.enter();
+
+  // Only the write is outstanding; the read waits for the link.
+  EXPECT_EQ(disk.pending(), 1u);
+  EXPECT_EQ(disk.poll(1), 1u);  // completes the write, issues the read
+  EXPECT_EQ(disk.pending(), 1u);
+  EXPECT_EQ(disk.poll(1), 1u);
+
+  std::array<Cqe, 4> cqes;
+  ASSERT_EQ(ring.peek_cqes(cqes), 2u);
+  EXPECT_EQ(cqes[0].user_data, 1u);
+  EXPECT_EQ(cqes[1].user_data, 2u);
+  EXPECT_EQ(rbuf, wbuf);
+}
+
+TEST(UringLink, FailureCancelsRestOfChain) {
+  RamDisk disk(4096);
+  IoUring ring({.sq_entries = 16, .mode = RingMode::interrupt}, disk);
+  std::array<std::uint8_t, 512> buf{};
+  // First op reads out of range -> fails; the two linked followers cancel.
+  Sqe bad{Opcode::read, kSqeLink, 0, 10 * MiB,
+          reinterpret_cast<std::uint64_t>(buf.data()), 512, 1};
+  Sqe mid{Opcode::write, kSqeLink, 0, 0,
+          reinterpret_cast<std::uint64_t>(buf.data()), 512, 2};
+  Sqe tail{Opcode::read, 0, 0, 0,
+           reinterpret_cast<std::uint64_t>(buf.data()), 512, 3};
+  ASSERT_TRUE(ring.prep(bad).ok());
+  ASSERT_TRUE(ring.prep(mid).ok());
+  ASSERT_TRUE(ring.prep(tail).ok());
+  ring.enter();
+
+  std::array<Cqe, 4> cqes;
+  ASSERT_EQ(ring.peek_cqes(cqes), 3u);
+  EXPECT_LT(cqes[0].res, 0);
+  EXPECT_EQ(cqes[1].res, kResCanceled);
+  EXPECT_EQ(cqes[2].res, kResCanceled);
+}
+
+TEST(UringLink, IndependentSqesStayConcurrent) {
+  RamDisk disk(1 * MiB, /*deferred=*/true);
+  IoUring ring({.sq_entries = 16, .mode = RingMode::interrupt}, disk);
+  std::array<std::uint8_t, 64> buf{};
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.prep(Sqe{Opcode::write, 0, 0,
+                              static_cast<std::uint64_t>(i) * 64,
+                              reinterpret_cast<std::uint64_t>(buf.data()), 64,
+                              static_cast<std::uint64_t>(i)}).ok());
+  }
+  ring.enter();
+  EXPECT_EQ(disk.pending(), 4u) << "unlinked SQEs issue concurrently";
+}
+
+TEST(UringFixedBuffers, ReadWriteThroughRegisteredBuffer) {
+  RamDisk disk(1 * MiB);
+  IoUring ring({.sq_entries = 8, .mode = RingMode::interrupt}, disk);
+  std::array<std::uint8_t, 4096> a;
+  a.fill(0x5C);
+  std::array<std::uint8_t, 4096> b{};
+  ASSERT_TRUE(ring.register_buffers(
+                      {{reinterpret_cast<std::uint64_t>(a.data()), 4096},
+                       {reinterpret_cast<std::uint64_t>(b.data()), 4096}})
+                  .ok());
+  EXPECT_EQ(ring.registered_buffer_count(), 2u);
+
+  ASSERT_TRUE(ring.prep_write_fixed(0, 0, 4096, 0, 1).ok());
+  ring.enter();
+  std::array<Cqe, 1> cqe;
+  ASSERT_EQ(ring.peek_cqes(cqe), 1u);
+  ASSERT_EQ(cqe[0].res, 4096);
+
+  ASSERT_TRUE(ring.prep_read_fixed(0, 1, 4096, 0, 2).ok());
+  ring.enter();
+  ASSERT_EQ(ring.peek_cqes(cqe), 1u);
+  ASSERT_EQ(cqe[0].res, 4096);
+  EXPECT_EQ(b, a);
+}
+
+TEST(UringFixedBuffers, BadIndexFailsInCqe) {
+  RamDisk disk(4096);
+  IoUring ring({.sq_entries = 8, .mode = RingMode::interrupt}, disk);
+  ASSERT_TRUE(ring.prep_read_fixed(0, 5, 64, 0, 9).ok());  // nothing registered
+  ring.enter();
+  std::array<Cqe, 1> cqe;
+  ASSERT_EQ(ring.peek_cqes(cqe), 1u);
+  EXPECT_LT(cqe[0].res, 0);
+}
+
+TEST(UringFixedBuffers, LengthBeyondRegisteredCapacityFails) {
+  RamDisk disk(1 * MiB);
+  IoUring ring({.sq_entries = 8, .mode = RingMode::interrupt}, disk);
+  std::array<std::uint8_t, 128> small{};
+  ASSERT_TRUE(ring.register_buffers(
+                      {{reinterpret_cast<std::uint64_t>(small.data()), 128}})
+                  .ok());
+  ASSERT_TRUE(ring.prep_read_fixed(0, 0, 4096, 0, 1).ok());
+  ring.enter();
+  std::array<Cqe, 1> cqe;
+  ASSERT_EQ(ring.peek_cqes(cqe), 1u);
+  EXPECT_LT(cqe[0].res, 0);
+}
+
+TEST(UringFixedBuffers, RegistrationBlockedWhileInflight) {
+  RamDisk disk(1 * MiB, /*deferred=*/true);
+  IoUring ring({.sq_entries = 8, .mode = RingMode::interrupt}, disk);
+  std::array<std::uint8_t, 64> buf{};
+  ASSERT_TRUE(ring.prep_write(0, reinterpret_cast<std::uint64_t>(buf.data()),
+                              64, 0, 1).ok());
+  ring.enter();
+  EXPECT_EQ(ring.register_buffers({}).code(), Errc::busy);
+  disk.poll();
+}
+
+TEST(UringFixedFiles, IndexResolvesToRealFd) {
+  RamDisk disk(1 * MiB);
+  IoUring ring({.sq_entries = 8, .mode = RingMode::interrupt}, disk);
+  ASSERT_TRUE(ring.register_files({42, 7}).ok());
+  EXPECT_EQ(ring.registered_file_count(), 2u);
+  std::array<std::uint8_t, 64> buf{};
+  // fd field is an index (1 -> real fd 7) with the fixed-file flag.
+  ASSERT_TRUE(ring.prep(Sqe{Opcode::write, kSqeFixedFile, 1, 0,
+                            reinterpret_cast<std::uint64_t>(buf.data()), 64,
+                            11}).ok());
+  ring.enter();
+  std::array<Cqe, 1> cqe;
+  ASSERT_EQ(ring.peek_cqes(cqe), 1u);
+  EXPECT_EQ(cqe[0].res, 64);
+}
+
+TEST(UringFixedFiles, OutOfRangeIndexFails) {
+  RamDisk disk(4096);
+  IoUring ring({.sq_entries = 8, .mode = RingMode::interrupt}, disk);
+  ASSERT_TRUE(ring.register_files({0}).ok());
+  std::array<std::uint8_t, 64> buf{};
+  ASSERT_TRUE(ring.prep(Sqe{Opcode::read, kSqeFixedFile, 3, 0,
+                            reinterpret_cast<std::uint64_t>(buf.data()), 64,
+                            1}).ok());
+  ring.enter();
+  std::array<Cqe, 1> cqe;
+  ASSERT_EQ(ring.peek_cqes(cqe), 1u);
+  EXPECT_LT(cqe[0].res, 0);
+}
+
+}  // namespace
+}  // namespace dk::uring

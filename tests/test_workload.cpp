@@ -1,0 +1,176 @@
+// Tests for the fio-style engine and the OLAP/OLTP application models.
+#include <gtest/gtest.h>
+
+#include "core/framework.hpp"
+#include "workload/apps.hpp"
+#include "workload/fio.hpp"
+
+namespace dk::workload {
+namespace {
+
+core::FrameworkConfig small_config(core::VariantKind v,
+                                   core::PoolMode p = core::PoolMode::replicated) {
+  core::FrameworkConfig cfg;
+  cfg.variant = v;
+  cfg.pool_mode = p;
+  cfg.image_size = 32 * MiB;
+  return cfg;
+}
+
+TEST(FioEngine, ProducesOpsAndLatencies) {
+  sim::Simulator sim;
+  core::Framework fw(sim, small_config(core::VariantKind::delibak));
+  FioEngine engine(fw);
+  FioJobSpec spec;
+  spec.rw = RwMode::rand_write;
+  spec.bs = 4096;
+  spec.iodepth = 8;
+  spec.runtime = ms(120);
+  spec.ramp = ms(20);
+  auto r = engine.run(spec);
+  EXPECT_GT(r.ops, 100u);
+  EXPECT_EQ(r.bytes, r.ops * 4096);
+  EXPECT_GT(r.iops(), 0.0);
+  EXPECT_GT(r.latency.p50(), us(20));
+  EXPECT_LT(r.latency.p50(), ms(5));
+}
+
+TEST(FioEngine, DeterministicForSameSeed) {
+  auto run_once = [] {
+    sim::Simulator sim;
+    core::Framework fw(sim, small_config(core::VariantKind::delibak));
+    FioEngine engine(fw);
+    FioJobSpec spec;
+    spec.rw = RwMode::rand_read;
+    spec.runtime = ms(80);
+    spec.seed = 77;
+    return engine.run(spec).ops;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(FioEngine, VerifyModeDetectsCorrectData) {
+  sim::Simulator sim;
+  auto cfg = small_config(core::VariantKind::delibak);
+  cfg.image_size = 4 * MiB;
+  core::Framework fw(sim, cfg);
+  FioEngine engine(fw);
+  FioJobSpec spec;
+  spec.rw = RwMode::rand_read;
+  spec.bs = 4096;
+  spec.iodepth = 4;
+  spec.runtime = ms(60);
+  spec.ramp = 0;
+  spec.prefill = true;
+  spec.verify = true;
+  auto r = engine.run(spec);
+  EXPECT_GT(r.ops, 50u);
+  EXPECT_EQ(r.verify_errors, 0u)
+      << "every read must return the prefill pattern";
+}
+
+TEST(FioEngine, HigherIodepthRaisesThroughput) {
+  auto tput = [](unsigned qd) {
+    sim::Simulator sim;
+    core::Framework fw(sim, small_config(core::VariantKind::delibak));
+    FioEngine engine(fw);
+    FioJobSpec spec;
+    spec.rw = RwMode::rand_read;
+    spec.iodepth = qd;
+    spec.runtime = ms(150);
+    return engine.run(spec).iops();
+  };
+  EXPECT_GT(tput(16), tput(1) * 2.0);
+}
+
+TEST(FioEngine, SequentialFasterThanRandomReads) {
+  auto run_mode = [](RwMode mode) {
+    sim::Simulator sim;
+    core::Framework fw(sim, small_config(core::VariantKind::delibak));
+    FioEngine engine(fw);
+    FioJobSpec spec;
+    spec.rw = mode;
+    spec.iodepth = 1;
+    spec.runtime = ms(150);
+    return engine.run(spec);
+  };
+  // Readahead: sequential reads have visibly lower latency.
+  EXPECT_LT(run_mode(RwMode::seq_read).mean_latency_us(),
+            run_mode(RwMode::rand_read).mean_latency_us() * 0.85);
+}
+
+TEST(ProbeLatency, MicrosecondScaleAndOrdered) {
+  sim::Simulator sim;
+  core::Framework fw(sim, small_config(core::VariantKind::delibak));
+  const Nanos lat4k = probe_latency(fw, RwMode::rand_read, 4096, 20);
+  EXPECT_GT(lat4k, us(30));
+  EXPECT_LT(lat4k, us(150));
+  const Nanos lat128k = probe_latency(fw, RwMode::rand_read, 128 * 1024, 20);
+  EXPECT_GT(lat128k, lat4k);
+}
+
+TEST(FioEngine, MixedRandRwRespectsReadFraction) {
+  sim::Simulator sim;
+  core::Framework fw(sim, small_config(core::VariantKind::delibak));
+  FioEngine engine(fw);
+  FioJobSpec spec;
+  spec.rw = RwMode::rand_rw;
+  spec.rwmix_read = 70;
+  spec.iodepth = 8;
+  spec.runtime = ms(200);
+  spec.ramp = 0;
+  auto r = engine.run(spec);
+  ASSERT_GT(r.ops, 200u);
+  // Reads and writes both happened (framework stats split them).
+  EXPECT_GT(fw.stats().reads, fw.stats().writes)
+      << "70% read mix must skew toward reads";
+  EXPECT_GT(fw.stats().writes, 0u);
+  const double read_frac = static_cast<double>(fw.stats().reads) /
+                           (fw.stats().reads + fw.stats().writes);
+  EXPECT_NEAR(read_frac, 0.70, 0.08);
+}
+
+TEST(Olap, ScanCompletesAndD3BeatsD2Sw) {
+  auto run_variant = [](core::VariantKind v) {
+    sim::Simulator sim;
+    auto cfg = small_config(v);
+    cfg.image_size = 64 * MiB;
+    core::Framework fw(sim, cfg);
+    OlapSpec spec;
+    spec.table_bytes = 32 * MiB;
+    return run_olap(fw, spec);
+  };
+  auto d2 = run_variant(core::VariantKind::sw_ceph_d2);
+  auto d3 = run_variant(core::VariantKind::delibak);
+  EXPECT_GT(d2.scan_mbps, 0.0);
+  EXPECT_LT(d3.total(), d2.total());
+}
+
+TEST(Oltp, TransactionsCommitWithLatencies) {
+  sim::Simulator sim;
+  core::Framework fw(sim, small_config(core::VariantKind::delibak));
+  OltpSpec spec;
+  spec.transactions = 100;
+  spec.clients = 2;
+  auto r = run_oltp(fw, spec);
+  EXPECT_EQ(r.committed, 100u);
+  EXPECT_GT(r.tps(), 0.0);
+  EXPECT_EQ(r.txn_latency.count(), 100u);
+  // A txn spans several I/Os: latency well above a single I/O.
+  EXPECT_GT(r.txn_latency.p50(), us(100));
+}
+
+TEST(Oltp, MoreClientsRaiseTps) {
+  auto tps = [](unsigned clients) {
+    sim::Simulator sim;
+    core::Framework fw(sim, small_config(core::VariantKind::delibak));
+    OltpSpec spec;
+    spec.transactions = 200;
+    spec.clients = clients;
+    return run_oltp(fw, spec).tps();
+  };
+  EXPECT_GT(tps(4), tps(1) * 1.5);
+}
+
+}  // namespace
+}  // namespace dk::workload

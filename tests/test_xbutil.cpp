@@ -1,0 +1,47 @@
+// Tests for the xbutil-style device report and validation checks.
+#include <gtest/gtest.h>
+
+#include "fpga/xbutil.hpp"
+
+namespace dk::fpga {
+namespace {
+
+TEST(Xbutil, ExamineContainsKeySections) {
+  sim::Simulator sim;
+  FpgaDevice dev(sim);
+  const std::string report = XbutilReport::examine(dev);
+  EXPECT_NE(report.find("xilinx_u280"), std::string::npos);
+  EXPECT_NE(report.find("QDMA"), std::string::npos);
+  EXPECT_NE(report.find("DFX RP"), std::string::npos);
+  EXPECT_NE(report.find("Power"), std::string::npos);
+  EXPECT_NE(report.find("vacant"), std::string::npos);
+}
+
+TEST(Xbutil, ExamineReflectsActiveRm) {
+  sim::Simulator sim;
+  FpgaDevice dev(sim);
+  ASSERT_TRUE(dev.dfx().load_rm(KernelKind::tree, [] {}).ok());
+  sim.run();
+  const std::string report = XbutilReport::examine(dev);
+  EXPECT_NE(report.find("RM=Tree Bucket"), std::string::npos);
+  EXPECT_NE(report.find("Tree Bucket: resident"), std::string::npos);
+  EXPECT_NE(report.find("Uniform Bucket: not loaded"), std::string::npos);
+}
+
+TEST(Xbutil, ValidatePassesOnDefaultDevice) {
+  sim::Simulator sim;
+  FpgaDevice dev(sim);
+  std::string details;
+  EXPECT_TRUE(XbutilReport::validate(dev, &details));
+  EXPECT_EQ(details.find("FAIL"), std::string::npos) << details;
+}
+
+TEST(Xbutil, ThermalModelMonotonic) {
+  EXPECT_GT(XbutilReport::junction_celsius(195.0),
+            XbutilReport::junction_celsius(170.0));
+  // 195 W full-load keeps the junction under 105C (passive envelope).
+  EXPECT_LT(XbutilReport::junction_celsius(195.0), 105.0);
+}
+
+}  // namespace
+}  // namespace dk::fpga

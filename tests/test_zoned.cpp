@@ -1,0 +1,152 @@
+// Tests for the SMR/ZNS zoned block device model and its uring backend.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "host/zoned.hpp"
+
+namespace dk::host {
+namespace {
+
+ZonedConfig tiny() {
+  return {.zone_bytes = 4096, .zone_count = 8, .max_open_zones = 2};
+}
+
+std::vector<std::uint8_t> bytes(std::size_t n, std::uint8_t v) {
+  return std::vector<std::uint8_t>(n, v);
+}
+
+TEST(Zoned, SequentialWritesAdvanceWritePointer) {
+  ZonedDevice dev(tiny());
+  ASSERT_TRUE(dev.write(0, bytes(512, 1)).ok());
+  ASSERT_TRUE(dev.write(512, bytes(512, 2)).ok());
+  EXPECT_EQ(dev.zone(0).write_pointer, 1024u);
+  EXPECT_EQ(dev.zone(0).state, ZoneState::open);
+  auto out = dev.read(0, 1024);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[512], 2);
+}
+
+TEST(Zoned, NonWpWriteRejected) {
+  ZonedDevice dev(tiny());
+  ASSERT_TRUE(dev.write(0, bytes(512, 1)).ok());
+  // Rewriting the start or skipping ahead both violate the WP contract.
+  EXPECT_FALSE(dev.write(0, bytes(512, 9)).ok());
+  EXPECT_FALSE(dev.write(2048, bytes(512, 9)).ok());
+  EXPECT_EQ(dev.stats().unaligned_rejects, 2u);
+}
+
+TEST(Zoned, WriteCrossingZoneBorderRejected) {
+  ZonedDevice dev(tiny());
+  ASSERT_TRUE(dev.write(0, bytes(4096, 1)).ok());  // fills zone 0
+  EXPECT_FALSE(dev.write(4096 - 512, bytes(1024, 2)).ok());
+}
+
+TEST(Zoned, ZoneFillsAndBecomesReadOnly) {
+  ZonedDevice dev(tiny());
+  ASSERT_TRUE(dev.write(0, bytes(4096, 7)).ok());
+  EXPECT_EQ(dev.zone(0).state, ZoneState::full);
+  EXPECT_EQ(dev.open_zones(), 0u);
+  EXPECT_FALSE(dev.write(0, bytes(512, 1)).ok());
+}
+
+TEST(Zoned, MaxOpenZonesEnforced) {
+  ZonedDevice dev(tiny());  // max 2 open
+  ASSERT_TRUE(dev.write(0 * 4096, bytes(64, 1)).ok());
+  ASSERT_TRUE(dev.write(1 * 4096, bytes(64, 1)).ok());
+  EXPECT_EQ(dev.open_zones(), 2u);
+  auto s = dev.write(2 * 4096, bytes(64, 1));
+  EXPECT_EQ(s.code(), Errc::busy);
+  // Finishing one zone frees an open slot.
+  ASSERT_TRUE(dev.finish_zone(0).ok());
+  EXPECT_TRUE(dev.write(2 * 4096, bytes(64, 1)).ok());
+}
+
+TEST(Zoned, AppendReturnsLandingOffset) {
+  ZonedDevice dev(tiny());
+  auto a = dev.append(3, bytes(100, 5));
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, 3u * 4096);
+  auto b = dev.append(3, bytes(100, 6));
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, 3u * 4096 + 100);
+  EXPECT_EQ(dev.stats().appends, 2u);
+  EXPECT_EQ(dev.read(*b, 1)[0], 6);
+}
+
+TEST(Zoned, AppendBeyondCapacityFails) {
+  ZonedDevice dev(tiny());
+  ASSERT_TRUE(dev.append(0, bytes(4000, 1)).ok());
+  EXPECT_FALSE(dev.append(0, bytes(200, 2)).ok());
+}
+
+TEST(Zoned, ResetZeroesAndReopens) {
+  ZonedDevice dev(tiny());
+  ASSERT_TRUE(dev.write(0, bytes(4096, 9)).ok());
+  ASSERT_TRUE(dev.reset_zone(0).ok());
+  EXPECT_EQ(dev.zone(0).state, ZoneState::empty);
+  EXPECT_EQ(dev.zone(0).write_pointer, 0u);
+  EXPECT_EQ(dev.read(0, 1)[0], 0);
+  EXPECT_TRUE(dev.write(0, bytes(64, 3)).ok());
+}
+
+TEST(Zoned, ReadsAboveWpReturnZero) {
+  ZonedDevice dev(tiny());
+  ASSERT_TRUE(dev.write(0, bytes(100, 0xFF)).ok());
+  auto out = dev.read(0, 200);
+  EXPECT_EQ(out[99], 0xFF);
+  EXPECT_EQ(out[100], 0);
+  EXPECT_EQ(out[199], 0);
+}
+
+TEST(Zoned, ReportZonesCoversWholeDevice) {
+  ZonedDevice dev(tiny());
+  auto zones = dev.report_zones();
+  ASSERT_EQ(zones.size(), 8u);
+  for (unsigned z = 0; z < 8; ++z) {
+    EXPECT_EQ(zones[z].start, z * 4096ull);
+    EXPECT_EQ(zones[z].capacity, 4096u);
+  }
+}
+
+TEST(ZonedBackend, UringWritesHonourWpContract) {
+  ZonedDevice dev(tiny());
+  ZonedBackend backend(dev);
+  uring::IoUring ring({.sq_entries = 8, .mode = uring::RingMode::interrupt},
+                      backend);
+  std::array<std::uint8_t, 512> buf;
+  buf.fill(0xAA);
+  // First write at WP succeeds; second at the same offset must fail.
+  ASSERT_TRUE(ring.prep_write(0, reinterpret_cast<std::uint64_t>(buf.data()),
+                              512, 0, 1).ok());
+  ASSERT_TRUE(ring.prep_write(0, reinterpret_cast<std::uint64_t>(buf.data()),
+                              512, 0, 2).ok());
+  ring.enter();
+  std::array<uring::Cqe, 2> cqes;
+  ASSERT_EQ(ring.peek_cqes(cqes), 2u);
+  EXPECT_EQ(cqes[0].res, 512);
+  EXPECT_LT(cqes[1].res, 0);
+}
+
+TEST(ZonedBackend, UringReadRoundTrip) {
+  ZonedDevice dev(tiny());
+  ZonedBackend backend(dev);
+  uring::IoUring ring({.sq_entries = 8, .mode = uring::RingMode::interrupt},
+                      backend);
+  std::array<std::uint8_t, 256> w;
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] = static_cast<std::uint8_t>(i);
+  std::array<std::uint8_t, 256> r{};
+  ASSERT_TRUE(ring.prep_write(0, reinterpret_cast<std::uint64_t>(w.data()),
+                              256, 0, 1).ok());
+  ring.enter();
+  std::array<uring::Cqe, 1> cqe;
+  ring.peek_cqes(cqe);
+  ASSERT_TRUE(ring.prep_read(0, reinterpret_cast<std::uint64_t>(r.data()),
+                             256, 0, 2).ok());
+  ring.enter();
+  ring.peek_cqes(cqe);
+  EXPECT_EQ(r, w);
+}
+
+}  // namespace
+}  // namespace dk::host
