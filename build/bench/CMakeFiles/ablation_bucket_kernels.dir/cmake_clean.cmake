@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bucket_kernels.dir/ablation_bucket_kernels.cpp.o"
+  "CMakeFiles/ablation_bucket_kernels.dir/ablation_bucket_kernels.cpp.o.d"
+  "ablation_bucket_kernels"
+  "ablation_bucket_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bucket_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

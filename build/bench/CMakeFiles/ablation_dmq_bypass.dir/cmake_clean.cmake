@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dmq_bypass.dir/ablation_dmq_bypass.cpp.o"
+  "CMakeFiles/ablation_dmq_bypass.dir/ablation_dmq_bypass.cpp.o.d"
+  "ablation_dmq_bypass"
+  "ablation_dmq_bypass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dmq_bypass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_dmq_bypass.
+# This may be replaced when dependencies are built.

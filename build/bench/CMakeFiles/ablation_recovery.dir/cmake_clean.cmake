@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_recovery.dir/ablation_recovery.cpp.o"
+  "CMakeFiles/ablation_recovery.dir/ablation_recovery.cpp.o.d"
+  "ablation_recovery"
+  "ablation_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

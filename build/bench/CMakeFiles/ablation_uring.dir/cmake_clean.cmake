@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_uring.dir/ablation_uring.cpp.o"
+  "CMakeFiles/ablation_uring.dir/ablation_uring.cpp.o.d"
+  "ablation_uring"
+  "ablation_uring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_uring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_sw_baseline_ec.dir/fig4_sw_baseline_ec.cpp.o"
+  "CMakeFiles/fig4_sw_baseline_ec.dir/fig4_sw_baseline_ec.cpp.o.d"
+  "fig4_sw_baseline_ec"
+  "fig4_sw_baseline_ec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_sw_baseline_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_sw_baseline_ec.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_hw_replication_throughput.dir/fig6_hw_replication_throughput.cpp.o"
+  "CMakeFiles/fig6_hw_replication_throughput.dir/fig6_hw_replication_throughput.cpp.o.d"
+  "fig6_hw_replication_throughput"
+  "fig6_hw_replication_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_hw_replication_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

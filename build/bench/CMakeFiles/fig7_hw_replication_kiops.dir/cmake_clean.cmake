@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_hw_replication_kiops.dir/fig7_hw_replication_kiops.cpp.o"
+  "CMakeFiles/fig7_hw_replication_kiops.dir/fig7_hw_replication_kiops.cpp.o.d"
+  "fig7_hw_replication_kiops"
+  "fig7_hw_replication_kiops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_hw_replication_kiops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

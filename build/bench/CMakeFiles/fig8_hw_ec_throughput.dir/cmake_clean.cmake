@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_hw_ec_throughput.dir/fig8_hw_ec_throughput.cpp.o"
+  "CMakeFiles/fig8_hw_ec_throughput.dir/fig8_hw_ec_throughput.cpp.o.d"
+  "fig8_hw_ec_throughput"
+  "fig8_hw_ec_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_hw_ec_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

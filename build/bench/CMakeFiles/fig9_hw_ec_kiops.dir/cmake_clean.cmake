@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_hw_ec_kiops.dir/fig9_hw_ec_kiops.cpp.o"
+  "CMakeFiles/fig9_hw_ec_kiops.dir/fig9_hw_ec_kiops.cpp.o.d"
+  "fig9_hw_ec_kiops"
+  "fig9_hw_ec_kiops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_hw_ec_kiops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9_hw_ec_kiops.
+# This may be replaced when dependencies are built.

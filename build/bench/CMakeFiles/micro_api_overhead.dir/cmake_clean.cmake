@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_api_overhead.dir/micro_api_overhead.cpp.o"
+  "CMakeFiles/micro_api_overhead.dir/micro_api_overhead.cpp.o.d"
+  "micro_api_overhead"
+  "micro_api_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_api_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

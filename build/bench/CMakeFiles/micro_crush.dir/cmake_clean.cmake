@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_crush.dir/micro_crush.cpp.o"
+  "CMakeFiles/micro_crush.dir/micro_crush.cpp.o.d"
+  "micro_crush"
+  "micro_crush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_crush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

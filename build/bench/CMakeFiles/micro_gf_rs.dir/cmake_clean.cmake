@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_gf_rs.dir/micro_gf_rs.cpp.o"
+  "CMakeFiles/micro_gf_rs.dir/micro_gf_rs.cpp.o.d"
+  "micro_gf_rs"
+  "micro_gf_rs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_gf_rs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

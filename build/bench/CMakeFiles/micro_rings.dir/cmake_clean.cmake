@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_rings.dir/micro_rings.cpp.o"
+  "CMakeFiles/micro_rings.dir/micro_rings.cpp.o.d"
+  "micro_rings"
+  "micro_rings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_rings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realworld_olap_oltp.dir/realworld_olap_oltp.cpp.o"
+  "CMakeFiles/realworld_olap_oltp.dir/realworld_olap_oltp.cpp.o.d"
+  "realworld_olap_oltp"
+  "realworld_olap_oltp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realworld_olap_oltp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for realworld_olap_oltp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_kernel_profile.dir/table1_kernel_profile.cpp.o"
+  "CMakeFiles/table1_kernel_profile.dir/table1_kernel_profile.cpp.o.d"
+  "table1_kernel_profile"
+  "table1_kernel_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_kernel_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fio_sim.dir/fio_sim.cpp.o"
+  "CMakeFiles/fio_sim.dir/fio_sim.cpp.o.d"
+  "fio_sim"
+  "fio_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fio_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

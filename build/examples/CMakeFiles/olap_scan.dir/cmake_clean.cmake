@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_scan.dir/olap_scan.cpp.o"
+  "CMakeFiles/olap_scan.dir/olap_scan.cpp.o.d"
+  "olap_scan"
+  "olap_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oltp_bench.dir/oltp_bench.cpp.o"
+  "CMakeFiles/oltp_bench.dir/oltp_bench.cpp.o.d"
+  "oltp_bench"
+  "oltp_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oltp_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

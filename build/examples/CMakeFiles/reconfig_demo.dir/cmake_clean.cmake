@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconfig_demo.dir/reconfig_demo.cpp.o"
+  "CMakeFiles/reconfig_demo.dir/reconfig_demo.cpp.o.d"
+  "reconfig_demo"
+  "reconfig_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconfig_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("gf")
+subdirs("ec")
+subdirs("crush")
+subdirs("net")
+subdirs("rados")
+subdirs("uring")
+subdirs("blk")
+subdirs("fpga")
+subdirs("host")
+subdirs("core")
+subdirs("workload")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dk_blk.dir/mq.cpp.o"
+  "CMakeFiles/dk_blk.dir/mq.cpp.o.d"
+  "libdk_blk.a"
+  "libdk_blk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dk_blk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dk_common.dir/histogram.cpp.o"
+  "CMakeFiles/dk_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/dk_common.dir/status.cpp.o"
+  "CMakeFiles/dk_common.dir/status.cpp.o.d"
+  "CMakeFiles/dk_common.dir/table.cpp.o"
+  "CMakeFiles/dk_common.dir/table.cpp.o.d"
+  "libdk_common.a"
+  "libdk_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dk_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/framework.cpp" "src/core/CMakeFiles/dk_core.dir/framework.cpp.o" "gcc" "src/core/CMakeFiles/dk_core.dir/framework.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blk/CMakeFiles/dk_blk.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/dk_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/dk_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/rados/CMakeFiles/dk_rados.dir/DependInfo.cmake"
+  "/root/repo/build/src/uring/CMakeFiles/dk_uring.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crush/CMakeFiles/dk_crush.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/dk_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/dk_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dk_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

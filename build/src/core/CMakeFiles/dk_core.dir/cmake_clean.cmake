@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dk_core.dir/framework.cpp.o"
+  "CMakeFiles/dk_core.dir/framework.cpp.o.d"
+  "libdk_core.a"
+  "libdk_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dk_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crush/bucket.cpp" "src/crush/CMakeFiles/dk_crush.dir/bucket.cpp.o" "gcc" "src/crush/CMakeFiles/dk_crush.dir/bucket.cpp.o.d"
+  "/root/repo/src/crush/builder.cpp" "src/crush/CMakeFiles/dk_crush.dir/builder.cpp.o" "gcc" "src/crush/CMakeFiles/dk_crush.dir/builder.cpp.o.d"
+  "/root/repo/src/crush/dump.cpp" "src/crush/CMakeFiles/dk_crush.dir/dump.cpp.o" "gcc" "src/crush/CMakeFiles/dk_crush.dir/dump.cpp.o.d"
+  "/root/repo/src/crush/ln.cpp" "src/crush/CMakeFiles/dk_crush.dir/ln.cpp.o" "gcc" "src/crush/CMakeFiles/dk_crush.dir/ln.cpp.o.d"
+  "/root/repo/src/crush/map.cpp" "src/crush/CMakeFiles/dk_crush.dir/map.cpp.o" "gcc" "src/crush/CMakeFiles/dk_crush.dir/map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

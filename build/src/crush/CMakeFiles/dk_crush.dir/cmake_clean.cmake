@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dk_crush.dir/bucket.cpp.o"
+  "CMakeFiles/dk_crush.dir/bucket.cpp.o.d"
+  "CMakeFiles/dk_crush.dir/builder.cpp.o"
+  "CMakeFiles/dk_crush.dir/builder.cpp.o.d"
+  "CMakeFiles/dk_crush.dir/dump.cpp.o"
+  "CMakeFiles/dk_crush.dir/dump.cpp.o.d"
+  "CMakeFiles/dk_crush.dir/ln.cpp.o"
+  "CMakeFiles/dk_crush.dir/ln.cpp.o.d"
+  "CMakeFiles/dk_crush.dir/map.cpp.o"
+  "CMakeFiles/dk_crush.dir/map.cpp.o.d"
+  "libdk_crush.a"
+  "libdk_crush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dk_crush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

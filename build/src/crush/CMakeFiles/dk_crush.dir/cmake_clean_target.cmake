@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdk_crush.a"
+)

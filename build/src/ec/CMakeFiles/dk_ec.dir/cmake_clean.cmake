@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dk_ec.dir/reed_solomon.cpp.o"
+  "CMakeFiles/dk_ec.dir/reed_solomon.cpp.o.d"
+  "libdk_ec.a"
+  "libdk_ec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dk_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dk_fpga.dir/accel.cpp.o"
+  "CMakeFiles/dk_fpga.dir/accel.cpp.o.d"
+  "CMakeFiles/dk_fpga.dir/dfx.cpp.o"
+  "CMakeFiles/dk_fpga.dir/dfx.cpp.o.d"
+  "CMakeFiles/dk_fpga.dir/qdma.cpp.o"
+  "CMakeFiles/dk_fpga.dir/qdma.cpp.o.d"
+  "CMakeFiles/dk_fpga.dir/tcpip.cpp.o"
+  "CMakeFiles/dk_fpga.dir/tcpip.cpp.o.d"
+  "CMakeFiles/dk_fpga.dir/u280.cpp.o"
+  "CMakeFiles/dk_fpga.dir/u280.cpp.o.d"
+  "CMakeFiles/dk_fpga.dir/xbutil.cpp.o"
+  "CMakeFiles/dk_fpga.dir/xbutil.cpp.o.d"
+  "libdk_fpga.a"
+  "libdk_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dk_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

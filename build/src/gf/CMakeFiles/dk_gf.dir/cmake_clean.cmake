@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dk_gf.dir/gf256.cpp.o"
+  "CMakeFiles/dk_gf.dir/gf256.cpp.o.d"
+  "CMakeFiles/dk_gf.dir/matrix.cpp.o"
+  "CMakeFiles/dk_gf.dir/matrix.cpp.o.d"
+  "libdk_gf.a"
+  "libdk_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dk_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

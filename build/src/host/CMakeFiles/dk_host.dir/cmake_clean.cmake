@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dk_host.dir/io_apis.cpp.o"
+  "CMakeFiles/dk_host.dir/io_apis.cpp.o.d"
+  "CMakeFiles/dk_host.dir/rbd.cpp.o"
+  "CMakeFiles/dk_host.dir/rbd.cpp.o.d"
+  "CMakeFiles/dk_host.dir/uifd.cpp.o"
+  "CMakeFiles/dk_host.dir/uifd.cpp.o.d"
+  "CMakeFiles/dk_host.dir/zoned.cpp.o"
+  "CMakeFiles/dk_host.dir/zoned.cpp.o.d"
+  "libdk_host.a"
+  "libdk_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dk_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

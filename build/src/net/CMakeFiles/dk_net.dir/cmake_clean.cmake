@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dk_net.dir/network.cpp.o"
+  "CMakeFiles/dk_net.dir/network.cpp.o.d"
+  "libdk_net.a"
+  "libdk_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dk_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

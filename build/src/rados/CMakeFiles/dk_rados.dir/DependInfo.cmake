@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rados/client.cpp" "src/rados/CMakeFiles/dk_rados.dir/client.cpp.o" "gcc" "src/rados/CMakeFiles/dk_rados.dir/client.cpp.o.d"
+  "/root/repo/src/rados/cluster.cpp" "src/rados/CMakeFiles/dk_rados.dir/cluster.cpp.o" "gcc" "src/rados/CMakeFiles/dk_rados.dir/cluster.cpp.o.d"
+  "/root/repo/src/rados/object_store.cpp" "src/rados/CMakeFiles/dk_rados.dir/object_store.cpp.o" "gcc" "src/rados/CMakeFiles/dk_rados.dir/object_store.cpp.o.d"
+  "/root/repo/src/rados/osd.cpp" "src/rados/CMakeFiles/dk_rados.dir/osd.cpp.o" "gcc" "src/rados/CMakeFiles/dk_rados.dir/osd.cpp.o.d"
+  "/root/repo/src/rados/recovery.cpp" "src/rados/CMakeFiles/dk_rados.dir/recovery.cpp.o" "gcc" "src/rados/CMakeFiles/dk_rados.dir/recovery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crush/CMakeFiles/dk_crush.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/dk_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dk_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/dk_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

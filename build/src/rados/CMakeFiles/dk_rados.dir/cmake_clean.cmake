@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dk_rados.dir/client.cpp.o"
+  "CMakeFiles/dk_rados.dir/client.cpp.o.d"
+  "CMakeFiles/dk_rados.dir/cluster.cpp.o"
+  "CMakeFiles/dk_rados.dir/cluster.cpp.o.d"
+  "CMakeFiles/dk_rados.dir/object_store.cpp.o"
+  "CMakeFiles/dk_rados.dir/object_store.cpp.o.d"
+  "CMakeFiles/dk_rados.dir/osd.cpp.o"
+  "CMakeFiles/dk_rados.dir/osd.cpp.o.d"
+  "CMakeFiles/dk_rados.dir/recovery.cpp.o"
+  "CMakeFiles/dk_rados.dir/recovery.cpp.o.d"
+  "libdk_rados.a"
+  "libdk_rados.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dk_rados.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dk_sim.dir/simulator.cpp.o"
+  "CMakeFiles/dk_sim.dir/simulator.cpp.o.d"
+  "libdk_sim.a"
+  "libdk_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dk_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

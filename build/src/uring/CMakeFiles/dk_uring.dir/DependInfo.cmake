@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uring/io_uring.cpp" "src/uring/CMakeFiles/dk_uring.dir/io_uring.cpp.o" "gcc" "src/uring/CMakeFiles/dk_uring.dir/io_uring.cpp.o.d"
+  "/root/repo/src/uring/registry.cpp" "src/uring/CMakeFiles/dk_uring.dir/registry.cpp.o" "gcc" "src/uring/CMakeFiles/dk_uring.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

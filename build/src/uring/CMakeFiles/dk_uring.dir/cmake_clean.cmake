@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dk_uring.dir/io_uring.cpp.o"
+  "CMakeFiles/dk_uring.dir/io_uring.cpp.o.d"
+  "CMakeFiles/dk_uring.dir/registry.cpp.o"
+  "CMakeFiles/dk_uring.dir/registry.cpp.o.d"
+  "libdk_uring.a"
+  "libdk_uring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dk_uring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

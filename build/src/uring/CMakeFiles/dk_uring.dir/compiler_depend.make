@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dk_uring.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dk_workload.dir/apps.cpp.o"
+  "CMakeFiles/dk_workload.dir/apps.cpp.o.d"
+  "CMakeFiles/dk_workload.dir/fio.cpp.o"
+  "CMakeFiles/dk_workload.dir/fio.cpp.o.d"
+  "CMakeFiles/dk_workload.dir/jobfile.cpp.o"
+  "CMakeFiles/dk_workload.dir/jobfile.cpp.o.d"
+  "CMakeFiles/dk_workload.dir/replay.cpp.o"
+  "CMakeFiles/dk_workload.dir/replay.cpp.o.d"
+  "libdk_workload.a"
+  "libdk_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dk_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blk.dir/test_blk.cpp.o"
+  "CMakeFiles/test_blk.dir/test_blk.cpp.o.d"
+  "test_blk"
+  "test_blk.pdb"
+  "test_blk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crush.dir/test_crush.cpp.o"
+  "CMakeFiles/test_crush.dir/test_crush.cpp.o.d"
+  "test_crush"
+  "test_crush.pdb"
+  "test_crush[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

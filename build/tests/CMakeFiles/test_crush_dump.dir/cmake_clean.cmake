@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crush_dump.dir/test_crush_dump.cpp.o"
+  "CMakeFiles/test_crush_dump.dir/test_crush_dump.cpp.o.d"
+  "test_crush_dump"
+  "test_crush_dump.pdb"
+  "test_crush_dump[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crush_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

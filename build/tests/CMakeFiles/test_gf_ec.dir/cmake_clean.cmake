@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gf_ec.dir/test_gf_ec.cpp.o"
+  "CMakeFiles/test_gf_ec.dir/test_gf_ec.cpp.o.d"
+  "test_gf_ec"
+  "test_gf_ec.pdb"
+  "test_gf_ec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gf_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_apis.dir/test_io_apis.cpp.o"
+  "CMakeFiles/test_io_apis.dir/test_io_apis.cpp.o.d"
+  "test_io_apis"
+  "test_io_apis.pdb"
+  "test_io_apis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_apis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_io_apis.
+# This may be replaced when dependencies are built.

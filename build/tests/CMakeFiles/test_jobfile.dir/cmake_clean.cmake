@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jobfile.dir/test_jobfile.cpp.o"
+  "CMakeFiles/test_jobfile.dir/test_jobfile.cpp.o.d"
+  "test_jobfile"
+  "test_jobfile.pdb"
+  "test_jobfile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jobfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

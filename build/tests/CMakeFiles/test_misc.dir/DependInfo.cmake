@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_misc.cpp" "tests/CMakeFiles/test_misc.dir/test_misc.cpp.o" "gcc" "tests/CMakeFiles/test_misc.dir/test_misc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fpga/CMakeFiles/dk_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crush/CMakeFiles/dk_crush.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/dk_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/dk_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rados.dir/test_rados.cpp.o"
+  "CMakeFiles/test_rados.dir/test_rados.cpp.o.d"
+  "test_rados"
+  "test_rados.pdb"
+  "test_rados[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rados.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

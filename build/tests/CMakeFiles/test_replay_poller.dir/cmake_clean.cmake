@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replay_poller.dir/test_replay_poller.cpp.o"
+  "CMakeFiles/test_replay_poller.dir/test_replay_poller.cpp.o.d"
+  "test_replay_poller"
+  "test_replay_poller.pdb"
+  "test_replay_poller[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replay_poller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

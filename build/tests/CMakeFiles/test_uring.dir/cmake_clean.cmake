@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uring.dir/test_uring.cpp.o"
+  "CMakeFiles/test_uring.dir/test_uring.cpp.o.d"
+  "test_uring"
+  "test_uring.pdb"
+  "test_uring[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

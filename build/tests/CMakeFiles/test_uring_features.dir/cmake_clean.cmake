@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uring_features.dir/test_uring_features.cpp.o"
+  "CMakeFiles/test_uring_features.dir/test_uring_features.cpp.o.d"
+  "test_uring_features"
+  "test_uring_features.pdb"
+  "test_uring_features[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uring_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xbutil.dir/test_xbutil.cpp.o"
+  "CMakeFiles/test_xbutil.dir/test_xbutil.cpp.o.d"
+  "test_xbutil"
+  "test_xbutil.pdb"
+  "test_xbutil[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xbutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zoned.dir/test_zoned.cpp.o"
+  "CMakeFiles/test_zoned.dir/test_zoned.cpp.o.d"
+  "test_zoned"
+  "test_zoned.pdb"
+  "test_zoned[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zoned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
