@@ -48,6 +48,15 @@ inline void print_header(const std::string& title, const std::string& paper_ref)
   std::cout << "Paper reference: " << paper_ref << "\n\n";
 }
 
+/// Machine-readable appendix: the framework's full metrics registry —
+/// per-layer counters/gauges plus the "stage.*" per-hop latency
+/// histograms — as one JSON object on a single line (easy to grep/jq).
+inline void print_metrics_json(const core::Framework& fw,
+                               const std::string& label) {
+  std::cout << "--- metrics JSON: " << label << " ---\n";
+  std::cout << fw.metrics().to_json() << "\n";
+}
+
 /// Run the Fig-6/7/8/9-style sweep: block sizes x rw modes x variants,
 /// printing one table per rw mode. `kiops` selects KIOPS vs MB/s output.
 inline void run_figure_sweep(core::PoolMode pool,
@@ -78,6 +87,23 @@ inline void run_figure_sweep(core::PoolMode pool,
     table.print(std::cout);
     std::cout << "\n";
   }
+
+  // Per-stage latency appendix for one representative cell (first variant,
+  // 4 kB random write) so the sweep's figures can be decomposed by hop.
+  workload::FioJobSpec spec;
+  spec.rw = RwMode::rand_write;
+  spec.bs = 4 * KiB;
+  spec.iodepth = 32;
+  spec.runtime = ms(300);
+  spec.ramp = ms(40);
+  spec.seed = 11;
+  sim::Simulator sim;
+  core::Framework fw(sim, make_config(variants.front(), pool, 128 * MiB));
+  workload::FioEngine engine(fw);
+  engine.run(spec);
+  print_metrics_json(fw, std::string(core::variant_short_name(
+                             variants.front())) +
+                             " rand_write 4k qd32");
 }
 
 }  // namespace dk::bench

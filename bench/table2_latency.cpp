@@ -35,6 +35,12 @@ void run_block(PoolMode pool, const std::vector<VariantKind>& variants,
       const Nanos lat = workload::probe_latency(fw, kModes[m], 4096, 60);
       row.push_back(TextTable::num(to_us(lat), 1));
       prow.push_back(std::to_string(paper_us[v][m]));
+      // Per-stage latency appendix from the last cell of the block, while
+      // its framework (and metrics registry) is still alive.
+      if (v + 1 == variants.size() && m + 1 == 4)
+        bench::print_metrics_json(
+            fw, std::string(core::variant_short_name(variants[v])) + " " +
+                    std::string(workload::rw_name(kModes[m])) + " 4k qd1");
     }
     table.add_row(std::move(row));
     paper.add_row(std::move(prow));

@@ -216,11 +216,16 @@ bench/CMakeFiles/realworld_olap_oltp.dir/realworld_olap_oltp.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
  /root/repo/src/blk/mq.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/common/metrics.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/common/histogram.hpp /root/repo/src/common/units.hpp \
  /root/repo/src/common/status.hpp /usr/include/c++/12/cassert \
  /usr/include/assert.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/core/calibration.hpp /root/repo/src/common/units.hpp \
+ /root/repo/src/common/trace.hpp /root/repo/src/core/calibration.hpp \
  /root/repo/src/core/variant.hpp /root/repo/src/crush/bucket.hpp \
  /root/repo/src/fpga/accel.hpp /usr/include/c++/12/span \
  /root/repo/src/ec/reed_solomon.hpp /root/repo/src/gf/matrix.hpp \
@@ -231,14 +236,13 @@ bench/CMakeFiles/realworld_olap_oltp.dir/realworld_olap_oltp.cpp.o: \
  /root/repo/src/fpga/dfx.hpp /root/repo/src/sim/simulator.hpp \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/fpga/power.hpp /root/repo/src/fpga/qdma.hpp \
- /root/repo/src/common/ring_buffer.hpp /usr/include/c++/12/atomic \
- /root/repo/src/sim/resources.hpp /root/repo/src/fpga/tcpip.hpp \
- /root/repo/src/host/rbd.hpp /root/repo/src/rados/client.hpp \
- /root/repo/src/rados/cluster.hpp /root/repo/src/net/network.hpp \
- /root/repo/src/rados/messages.hpp /root/repo/src/rados/object_store.hpp \
- /root/repo/src/rados/osd.hpp /root/repo/src/common/rng.hpp \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/common/ring_buffer.hpp /root/repo/src/sim/resources.hpp \
+ /root/repo/src/fpga/tcpip.hpp /root/repo/src/host/rbd.hpp \
+ /root/repo/src/rados/client.hpp /root/repo/src/rados/cluster.hpp \
+ /root/repo/src/net/network.hpp /root/repo/src/rados/messages.hpp \
+ /root/repo/src/rados/object_store.hpp /root/repo/src/rados/osd.hpp \
+ /root/repo/src/common/rng.hpp /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -247,8 +251,7 @@ bench/CMakeFiles/realworld_olap_oltp.dir/realworld_olap_oltp.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
  /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
  /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
- /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
- /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
  /usr/include/c++/12/tr1/special_function_util.h \
  /usr/include/c++/12/tr1/bessel_function.tcc \
  /usr/include/c++/12/tr1/beta_function.tcc \
@@ -262,4 +265,4 @@ bench/CMakeFiles/realworld_olap_oltp.dir/realworld_olap_oltp.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/host/uifd.hpp \
  /root/repo/src/uring/io_uring.hpp /root/repo/src/uring/sqe.hpp \
  /root/repo/src/uring/registry.hpp /root/repo/src/workload/fio.hpp \
- /root/repo/src/common/histogram.hpp /root/repo/src/workload/apps.hpp
+ /root/repo/src/workload/apps.hpp

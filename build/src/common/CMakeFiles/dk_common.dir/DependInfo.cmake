@@ -9,8 +9,10 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/histogram.cpp" "src/common/CMakeFiles/dk_common.dir/histogram.cpp.o" "gcc" "src/common/CMakeFiles/dk_common.dir/histogram.cpp.o.d"
+  "/root/repo/src/common/metrics.cpp" "src/common/CMakeFiles/dk_common.dir/metrics.cpp.o" "gcc" "src/common/CMakeFiles/dk_common.dir/metrics.cpp.o.d"
   "/root/repo/src/common/status.cpp" "src/common/CMakeFiles/dk_common.dir/status.cpp.o" "gcc" "src/common/CMakeFiles/dk_common.dir/status.cpp.o.d"
   "/root/repo/src/common/table.cpp" "src/common/CMakeFiles/dk_common.dir/table.cpp.o" "gcc" "src/common/CMakeFiles/dk_common.dir/table.cpp.o.d"
+  "/root/repo/src/common/trace.cpp" "src/common/CMakeFiles/dk_common.dir/trace.cpp.o" "gcc" "src/common/CMakeFiles/dk_common.dir/trace.cpp.o.d"
   )
 
 # Targets to which this target links.

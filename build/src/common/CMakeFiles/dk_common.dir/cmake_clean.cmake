@@ -1,10 +1,14 @@
 file(REMOVE_RECURSE
   "CMakeFiles/dk_common.dir/histogram.cpp.o"
   "CMakeFiles/dk_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/dk_common.dir/metrics.cpp.o"
+  "CMakeFiles/dk_common.dir/metrics.cpp.o.d"
   "CMakeFiles/dk_common.dir/status.cpp.o"
   "CMakeFiles/dk_common.dir/status.cpp.o.d"
   "CMakeFiles/dk_common.dir/table.cpp.o"
   "CMakeFiles/dk_common.dir/table.cpp.o.d"
+  "CMakeFiles/dk_common.dir/trace.cpp.o"
+  "CMakeFiles/dk_common.dir/trace.cpp.o.d"
   "libdk_common.a"
   "libdk_common.pdb"
 )

@@ -221,8 +221,15 @@ src/fpga/CMakeFiles/dk_fpga.dir/xbutil.cpp.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/fpga/power.hpp /root/repo/src/fpga/qdma.hpp \
- /root/repo/src/common/ring_buffer.hpp /usr/include/c++/12/atomic \
- /root/repo/src/sim/resources.hpp /root/repo/src/fpga/tcpip.hpp \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/common/metrics.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/common/histogram.hpp \
+ /root/repo/src/common/ring_buffer.hpp /root/repo/src/sim/resources.hpp \
+ /root/repo/src/fpga/tcpip.hpp /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

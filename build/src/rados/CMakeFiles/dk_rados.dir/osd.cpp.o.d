@@ -210,6 +210,12 @@ src/rados/CMakeFiles/dk_rados.dir/osd.cpp.o: /root/repo/src/rados/osd.cpp \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
+ /root/repo/src/common/metrics.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/common/histogram.hpp /root/repo/src/common/units.hpp \
  /root/repo/src/common/rng.hpp /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
@@ -220,8 +226,7 @@ src/rados/CMakeFiles/dk_rados.dir/osd.cpp.o: /root/repo/src/rados/osd.cpp \
  /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
  /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
  /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
- /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
- /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
  /usr/include/c++/12/tr1/special_function_util.h \
  /usr/include/c++/12/tr1/bessel_function.tcc \
  /usr/include/c++/12/tr1/beta_function.tcc \
@@ -237,8 +242,7 @@ src/rados/CMakeFiles/dk_rados.dir/osd.cpp.o: /root/repo/src/rados/osd.cpp \
  /usr/include/c++/12/span /root/repo/src/common/status.hpp \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/gf/matrix.hpp /root/repo/src/common/units.hpp \
+ /usr/include/c++/12/variant /root/repo/src/gf/matrix.hpp \
  /root/repo/src/net/network.hpp /root/repo/src/sim/resources.hpp \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/sim/simulator.hpp \

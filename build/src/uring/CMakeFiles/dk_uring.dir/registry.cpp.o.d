@@ -210,9 +210,16 @@ src/uring/CMakeFiles/dk_uring.dir/registry.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/span \
  /usr/include/c++/12/cstddef /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/common/ring_buffer.hpp /usr/include/c++/12/atomic \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/optional /root/repo/src/common/status.hpp \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/metrics.hpp \
+ /usr/include/c++/12/atomic /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/common/histogram.hpp /root/repo/src/common/units.hpp \
+ /root/repo/src/common/ring_buffer.hpp /usr/include/c++/12/cassert \
+ /usr/include/assert.h /usr/include/c++/12/optional \
+ /root/repo/src/common/status.hpp /usr/include/c++/12/variant \
  /root/repo/src/uring/sqe.hpp

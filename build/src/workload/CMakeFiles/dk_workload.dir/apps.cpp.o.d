@@ -238,10 +238,14 @@ src/workload/CMakeFiles/dk_workload.dir/apps.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
  /root/repo/src/blk/mq.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/common/status.hpp /usr/include/c++/12/cassert \
- /usr/include/assert.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
+ /root/repo/src/common/metrics.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/status.hpp \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/variant /root/repo/src/common/trace.hpp \
  /root/repo/src/core/calibration.hpp /root/repo/src/core/variant.hpp \
  /root/repo/src/crush/bucket.hpp /root/repo/src/fpga/accel.hpp \
  /usr/include/c++/12/span /usr/include/c++/12/cstddef \
@@ -253,14 +257,13 @@ src/workload/CMakeFiles/dk_workload.dir/apps.cpp.o: \
  /root/repo/src/fpga/dfx.hpp /root/repo/src/sim/simulator.hpp \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/fpga/power.hpp /root/repo/src/fpga/qdma.hpp \
- /root/repo/src/common/ring_buffer.hpp /usr/include/c++/12/atomic \
- /root/repo/src/sim/resources.hpp /root/repo/src/fpga/tcpip.hpp \
- /root/repo/src/host/rbd.hpp /root/repo/src/rados/client.hpp \
- /root/repo/src/rados/cluster.hpp /root/repo/src/net/network.hpp \
- /root/repo/src/rados/messages.hpp /root/repo/src/rados/object_store.hpp \
- /root/repo/src/rados/osd.hpp /root/repo/src/host/uifd.hpp \
- /root/repo/src/uring/io_uring.hpp /root/repo/src/uring/sqe.hpp \
- /root/repo/src/uring/registry.hpp /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/common/ring_buffer.hpp /root/repo/src/sim/resources.hpp \
+ /root/repo/src/fpga/tcpip.hpp /root/repo/src/host/rbd.hpp \
+ /root/repo/src/rados/client.hpp /root/repo/src/rados/cluster.hpp \
+ /root/repo/src/net/network.hpp /root/repo/src/rados/messages.hpp \
+ /root/repo/src/rados/object_store.hpp /root/repo/src/rados/osd.hpp \
+ /root/repo/src/host/uifd.hpp /root/repo/src/uring/io_uring.hpp \
+ /root/repo/src/uring/sqe.hpp /root/repo/src/uring/registry.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h

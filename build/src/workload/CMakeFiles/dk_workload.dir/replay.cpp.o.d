@@ -218,25 +218,28 @@ src/workload/CMakeFiles/dk_workload.dir/replay.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
  /root/repo/src/blk/mq.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/core/calibration.hpp /root/repo/src/core/variant.hpp \
- /root/repo/src/crush/bucket.hpp /root/repo/src/fpga/accel.hpp \
- /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /root/repo/src/ec/reed_solomon.hpp /root/repo/src/gf/matrix.hpp \
- /root/repo/src/fpga/u280.hpp /root/repo/src/crush/builder.hpp \
- /root/repo/src/crush/map.hpp /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/common/metrics.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/common/trace.hpp /root/repo/src/core/calibration.hpp \
+ /root/repo/src/core/variant.hpp /root/repo/src/crush/bucket.hpp \
+ /root/repo/src/fpga/accel.hpp /usr/include/c++/12/span \
+ /usr/include/c++/12/cstddef /root/repo/src/ec/reed_solomon.hpp \
+ /root/repo/src/gf/matrix.hpp /root/repo/src/fpga/u280.hpp \
+ /root/repo/src/crush/builder.hpp /root/repo/src/crush/map.hpp \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/fpga/device.hpp \
  /root/repo/src/fpga/dfx.hpp /root/repo/src/sim/simulator.hpp \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/fpga/power.hpp /root/repo/src/fpga/qdma.hpp \
- /root/repo/src/common/ring_buffer.hpp /usr/include/c++/12/atomic \
- /root/repo/src/sim/resources.hpp /root/repo/src/fpga/tcpip.hpp \
- /root/repo/src/host/rbd.hpp /root/repo/src/rados/client.hpp \
- /root/repo/src/rados/cluster.hpp /root/repo/src/net/network.hpp \
- /root/repo/src/rados/messages.hpp /root/repo/src/rados/object_store.hpp \
- /root/repo/src/rados/osd.hpp /root/repo/src/common/rng.hpp \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/common/ring_buffer.hpp /root/repo/src/sim/resources.hpp \
+ /root/repo/src/fpga/tcpip.hpp /root/repo/src/host/rbd.hpp \
+ /root/repo/src/rados/client.hpp /root/repo/src/rados/cluster.hpp \
+ /root/repo/src/net/network.hpp /root/repo/src/rados/messages.hpp \
+ /root/repo/src/rados/object_store.hpp /root/repo/src/rados/osd.hpp \
+ /root/repo/src/common/rng.hpp /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -245,8 +248,7 @@ src/workload/CMakeFiles/dk_workload.dir/replay.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
  /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
  /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
- /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
- /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
  /usr/include/c++/12/tr1/special_function_util.h \
  /usr/include/c++/12/tr1/bessel_function.tcc \
  /usr/include/c++/12/tr1/beta_function.tcc \

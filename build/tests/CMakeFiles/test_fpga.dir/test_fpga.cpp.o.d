@@ -325,5 +325,9 @@ tests/CMakeFiles/test_fpga.dir/test_fpga.cpp.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/fpga/power.hpp /root/repo/src/fpga/qdma.hpp \
+ /root/repo/src/common/metrics.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/common/histogram.hpp \
  /root/repo/src/common/ring_buffer.hpp /root/repo/src/sim/resources.hpp \
  /root/repo/src/fpga/tcpip.hpp

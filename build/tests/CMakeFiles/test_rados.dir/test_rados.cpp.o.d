@@ -315,13 +315,17 @@ tests/CMakeFiles/test_rados.dir/test_rados.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/rados/client.hpp \
+ /root/repo/src/common/metrics.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/common/histogram.hpp /root/repo/src/common/units.hpp \
  /root/repo/src/common/status.hpp /root/repo/src/ec/reed_solomon.hpp \
  /usr/include/c++/12/span /root/repo/src/gf/matrix.hpp \
  /root/repo/src/rados/cluster.hpp /root/repo/src/crush/builder.hpp \
  /root/repo/src/crush/map.hpp /root/repo/src/crush/bucket.hpp \
- /root/repo/src/net/network.hpp /root/repo/src/common/units.hpp \
- /root/repo/src/sim/resources.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/sim/simulator.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/rados/messages.hpp \
- /root/repo/src/rados/object_store.hpp /root/repo/src/rados/osd.hpp
+ /root/repo/src/net/network.hpp /root/repo/src/sim/resources.hpp \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/sim/simulator.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/rados/messages.hpp /root/repo/src/rados/object_store.hpp \
+ /root/repo/src/rados/osd.hpp

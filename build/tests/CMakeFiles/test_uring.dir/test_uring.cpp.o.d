@@ -316,6 +316,10 @@ tests/CMakeFiles/test_uring.dir/test_uring.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/units.hpp \
  /root/repo/src/uring/io_uring.hpp /usr/include/c++/12/span \
+ /root/repo/src/common/metrics.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/common/histogram.hpp \
  /root/repo/src/common/ring_buffer.hpp /root/repo/src/common/status.hpp \
  /root/repo/src/uring/sqe.hpp /root/repo/src/uring/ramdisk.hpp \
  /usr/include/c++/12/cstring /usr/include/c++/12/deque \

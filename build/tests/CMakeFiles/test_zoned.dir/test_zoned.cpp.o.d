@@ -295,5 +295,8 @@ tests/CMakeFiles/test_zoned.dir/test_zoned.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/host/zoned.hpp /usr/include/c++/12/span \
  /root/repo/src/common/status.hpp /root/repo/src/common/units.hpp \
- /root/repo/src/uring/io_uring.hpp /root/repo/src/common/ring_buffer.hpp \
- /root/repo/src/uring/sqe.hpp
+ /root/repo/src/uring/io_uring.hpp /root/repo/src/common/metrics.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/common/histogram.hpp \
+ /root/repo/src/common/ring_buffer.hpp /root/repo/src/uring/sqe.hpp

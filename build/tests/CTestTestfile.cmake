@@ -15,6 +15,7 @@ include("/root/repo/build/tests/test_blk[1]_include.cmake")
 include("/root/repo/build/tests/test_fpga[1]_include.cmake")
 include("/root/repo/build/tests/test_host[1]_include.cmake")
 include("/root/repo/build/tests/test_framework[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics[1]_include.cmake")
 include("/root/repo/build/tests/test_workload[1]_include.cmake")
 include("/root/repo/build/tests/test_paper_claims[1]_include.cmake")
 include("/root/repo/build/tests/test_uring_features[1]_include.cmake")

@@ -13,6 +13,19 @@ MqBlockLayer::MqBlockLayer(MqConfig config, Driver& driver)
   free_tags_.assign(config_.nr_hw_queues, config_.queue_depth);
 }
 
+void MqBlockLayer::attach_metrics(MetricsRegistry& registry,
+                                  const std::string& prefix) {
+  metrics_.submitted = &registry.counter(prefix + ".submitted");
+  metrics_.dispatched = &registry.counter(prefix + ".dispatched");
+  metrics_.completed = &registry.counter(prefix + ".completed");
+  metrics_.merges = &registry.counter(prefix + ".merges");
+  metrics_.splits = &registry.counter(prefix + ".splits");
+  metrics_.sched_bypass = &registry.counter(prefix + ".sched_bypass");
+  metrics_.tag_waits = &registry.counter(prefix + ".tag_waits");
+  metrics_.tags_in_use = &registry.gauge(prefix + ".tags_in_use");
+  metrics_.queued = &registry.gauge(prefix + ".queued");
+}
+
 Status MqBlockLayer::submit(unsigned cpu, Request request) {
   if (request.len == 0 && request.op != ReqOp::flush)
     return Status::Error(Errc::invalid_argument, "zero-length bio");
@@ -35,6 +48,7 @@ Status MqBlockLayer::submit(unsigned cpu, Request request) {
     state->remaining = nfrag;
     state->complete = std::move(request.complete);
     stats_.splits += nfrag - 1;
+    if (metrics_.splits) metrics_.splits->inc(nfrag - 1);
     // The original bio was already counted; fragments re-enter submit()
     // individually so merging/tagging treats them uniformly.
     stats_.submitted -= 1;
@@ -66,9 +80,15 @@ Status MqBlockLayer::submit(unsigned cpu, Request request) {
     return Status::Ok();
   }
 
+  // Fragments re-enter submit() above, so this point is reached exactly
+  // once per bio the layer will queue — the live counter mirrors that.
+  if (metrics_.submitted) metrics_.submitted->inc();
+
   if (config_.bypass_scheduler) {
     ++stats_.sched_bypass;
+    if (metrics_.sched_bypass) metrics_.sched_bypass->inc();
     pending_[hwq].push_back(std::move(request));
+    if (metrics_.queued) metrics_.queued->add();
     dispatch(hwq);
     return Status::Ok();
   }
@@ -76,9 +96,11 @@ Status MqBlockLayer::submit(unsigned cpu, Request request) {
   // Elevator path: try to merge into a queued request first.
   if (config_.merge && try_merge(hwq, request)) {
     ++stats_.merges;
+    if (metrics_.merges) metrics_.merges->inc();
     return Status::Ok();
   }
   pending_[hwq].push_back(std::move(request));
+  if (metrics_.queued) metrics_.queued->add();
   dispatch(hwq);
   return Status::Ok();
 }
@@ -117,6 +139,7 @@ void MqBlockLayer::dispatch(unsigned hwq) {
   while (!queue.empty()) {
     if (free_tags_[hwq] == 0) {
       ++stats_.tag_waits;
+      if (metrics_.tag_waits) metrics_.tag_waits->inc();
       return;  // tags exhausted; run_queues() after completions
     }
     Request req = std::move(queue.front());
@@ -124,12 +147,21 @@ void MqBlockLayer::dispatch(unsigned hwq) {
     --free_tags_[hwq];
     req.tag = config_.queue_depth - free_tags_[hwq] - 1;
     ++stats_.dispatched;
+    if (metrics_.dispatched) {
+      metrics_.dispatched->inc();
+      metrics_.queued->sub();
+      metrics_.tags_in_use->add();
+    }
 
     // Wrap completion to release the tag and re-pump this queue.
     auto inner = std::move(req.complete);
     req.complete = [this, hwq, inner = std::move(inner)](std::int32_t res) {
       ++free_tags_[hwq];
       ++stats_.completed;
+      if (metrics_.completed) {
+        metrics_.completed->inc();
+        metrics_.tags_in_use->sub();
+      }
       if (inner) inner(res);
       dispatch(hwq);
     };

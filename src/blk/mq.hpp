@@ -20,6 +20,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/status.hpp"
 
 namespace dk::blk {
@@ -95,6 +96,11 @@ class MqBlockLayer {
     return pending_[hw_queue].size();
   }
 
+  /// Publish layer activity under "<prefix>." (submitted/dispatched/
+  /// completed/merges/splits/sched_bypass/tag_waits counters, plus gauges
+  /// for tags in use and elevator occupancy across all hardware queues).
+  void attach_metrics(MetricsRegistry& registry, const std::string& prefix);
+
  private:
   void dispatch(unsigned hw_queue);
   bool try_merge(unsigned hw_queue, Request& request);
@@ -105,6 +111,19 @@ class MqBlockLayer {
   std::vector<std::deque<Request>> pending_;
   std::vector<unsigned> free_tags_;
   MqStats stats_;
+
+  struct MetricHandles {
+    Counter* submitted = nullptr;
+    Counter* dispatched = nullptr;
+    Counter* completed = nullptr;
+    Counter* merges = nullptr;
+    Counter* splits = nullptr;
+    Counter* sched_bypass = nullptr;
+    Counter* tag_waits = nullptr;
+    Gauge* tags_in_use = nullptr;
+    Gauge* queued = nullptr;
+  };
+  MetricHandles metrics_;
 };
 
 }  // namespace dk::blk

@@ -111,6 +111,29 @@ Framework::Framework(sim::Simulator& sim, FrameworkConfig config)
     driver_ = std::make_unique<PipelineDriver>(*this);
     mq_ = std::make_unique<blk::MqBlockLayer>(mqc, *driver_);
   }
+
+  wire_metrics();
+}
+
+void Framework::wire_metrics() {
+  m_writes_ = &metrics_.counter("io.writes");
+  m_reads_ = &metrics_.counter("io.reads");
+  m_bytes_written_ = &metrics_.counter("io.bytes_written");
+  m_bytes_read_ = &metrics_.counter("io.bytes_read");
+  m_completions_ = &metrics_.counter("io.completions");
+  m_errors_ = &metrics_.counter("io.errors");
+  m_inflight_ = &metrics_.gauge("io.inflight");
+
+  mq_->attach_metrics(metrics_, "blk");
+  image_->attach_metrics(metrics_, "rbd");
+  client_->attach_metrics(metrics_, "rados");
+  if (urings_)
+    for (std::size_t i = 0; i < urings_->size(); ++i)
+      urings_->ring(i).attach_metrics(metrics_, "uring" + std::to_string(i));
+  if (uifd_) uifd_->attach_metrics(metrics_, "uifd");
+  if (fpga_) fpga_->qdma().attach_metrics(metrics_, "qdma");
+  for (std::size_t i = 0; i < cluster_->osd_count(); ++i)
+    cluster_->osd(static_cast<int>(i)).attach_metrics(metrics_, "osd");
 }
 
 Framework::~Framework() = default;
@@ -253,8 +276,12 @@ void Framework::write(unsigned job, std::uint64_t offset,
   ctx.length = data.size();
   ctx.data = std::move(data);
   ctx.wcb = std::move(cb);
+  ctx.trace.mark(Stage::submit, sim_.now());
   ++stats_.writes;
   stats_.bytes_written += ctx.length;
+  m_writes_->inc();
+  m_bytes_written_->inc(ctx.length);
+  m_inflight_->add();
 
   if (traits_.uses_uring) {
     uring::IoUring& ring =
@@ -264,6 +291,8 @@ void Framework::write(unsigned job, std::uint64_t offset,
     if (!s.ok()) {
       auto wcb = std::move(ctx.wcb);
       inflight_.erase(token);
+      m_inflight_->sub();
+      m_errors_->inc();
       wcb(-static_cast<std::int32_t>(s.code()));
       return;
     }
@@ -289,8 +318,12 @@ void Framework::read(unsigned job, std::uint64_t offset, std::uint64_t length,
   ctx.offset = offset;
   ctx.length = length;
   ctx.rcb = std::move(cb);
+  ctx.trace.mark(Stage::submit, sim_.now());
   ++stats_.reads;
   stats_.bytes_read += length;
+  m_reads_->inc();
+  m_bytes_read_->inc(length);
+  m_inflight_->add();
 
   if (traits_.uses_uring) {
     uring::IoUring& ring = urings_->ring(job % urings_->size());
@@ -299,6 +332,8 @@ void Framework::read(unsigned job, std::uint64_t offset, std::uint64_t length,
     if (!s.ok()) {
       auto rcb = std::move(ctx.rcb);
       inflight_.erase(token);
+      m_inflight_->sub();
+      m_errors_->inc();
       rcb(Status::Error(s.code(), "submission queue full"));
       return;
     }
@@ -311,10 +346,18 @@ void Framework::read(unsigned job, std::uint64_t offset, std::uint64_t length,
   }
 }
 
+void Framework::mark_stage(std::uint64_t token, Stage stage) {
+  auto it = inflight_.find(token);
+  if (it != inflight_.end()) it->second.trace.mark(stage, sim_.now());
+}
+
 void Framework::start_io(std::uint64_t token) {
   auto it = inflight_.find(token);
   assert(it != inflight_.end());
   IoCtx& ctx = it->second;
+  // The SQE has been consumed (by the SQ-poll kthread or io_uring_enter)
+  // and the request is being handed to the host submission path.
+  ctx.trace.mark(Stage::sq_dispatch, sim_.now());
   sim::FifoServer& worker = *workers_[ctx.job % workers_.size()];
   const Nanos submit = host_submit_cost(!ctx.is_read, ctx.length);
   worker.submit(submit, [this, token] { enter_block_layer(token); });
@@ -326,6 +369,7 @@ void Framework::enter_block_layer(std::uint64_t token) {
   auto it = inflight_.find(token);
   assert(it != inflight_.end());
   IoCtx& ctx = it->second;
+  ctx.trace.mark(Stage::blk_enter, sim_.now());
 
   blk::Request req;
   req.op = ctx.is_read ? blk::ReqOp::read : blk::ReqOp::write;
@@ -337,6 +381,10 @@ void Framework::enter_block_layer(std::uint64_t token) {
     auto cit = inflight_.find(token);
     if (cit == inflight_.end()) return;
     IoCtx& c = cit->second;
+    // The remote side (OSDs / cluster) has answered; only host-side
+    // completion processing remains. First-mark-wins keeps this correct
+    // when the block layer split the bio into several fragments.
+    c.trace.mark(Stage::remote_complete, sim_.now());
     sim::FifoServer& worker =
         *completion_workers_[c.job % completion_workers_.size()];
     const Nanos complete_cost = host_complete_cost(!c.is_read, c.length);
@@ -350,6 +398,7 @@ void Framework::run_remote(const blk::Request& request,
                            std::function<void(std::int32_t)> done) {
   const std::uint64_t token = request.user_data;
   const bool is_read = request.op == blk::ReqOp::read;
+  mark_stage(token, Stage::driver_dispatch);
   const Nanos f = fpga_stage_latency(!is_read, request.len);
 
   sim_.schedule_after(f, [this, token, is_read,
@@ -360,6 +409,7 @@ void Framework::run_remote(const blk::Request& request,
       return;
     }
     IoCtx& ctx = it->second;
+    ctx.trace.mark(Stage::rados_issue, sim_.now());
     if (!is_read) {
       image_->aio_write(ctx.offset, std::move(ctx.data), write_strategy(),
                         std::move(done));
@@ -387,6 +437,13 @@ void Framework::finish_io(std::uint64_t token, std::int32_t res) {
   assert(it != inflight_.end());
   IoCtx ctx = std::move(it->second);
   inflight_.erase(it);
+
+  ctx.trace.mark(Stage::complete, sim_.now());
+  trace_collector_.collect(ctx.trace);
+  last_trace_ = ctx.trace;
+  m_completions_->inc();
+  if (res < 0) m_errors_->inc();
+  m_inflight_->sub();
 
   // Post + reap the CQE so ring statistics reflect reality.
   if (ctx.ring_complete) {

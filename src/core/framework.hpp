@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "blk/mq.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "core/calibration.hpp"
 #include "core/variant.hpp"
 #include "crush/builder.hpp"
@@ -82,6 +84,16 @@ class Framework {
   VariantTraits traits() const { return variant_traits(config_.variant); }
   const FrameworkStats& stats() const { return stats_; }
 
+  /// Per-instance observability sink. Every layer of this stack (rings,
+  /// DMQ, UIFD, QDMA, RBD, RADOS client, OSDs) publishes counters/gauges
+  /// here, and completed I/Os contribute per-stage latency histograms
+  /// ("stage.*"). Export with metrics().to_json() or metrics().dump().
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Stage trace of the most recently completed I/O (diagnostics/tests).
+  const StageTrace& last_trace() const { return last_trace_; }
+
   sim::Simulator& simulator() { return sim_; }
   rados::Cluster& cluster() { return *cluster_; }
   rados::RadosClient& rados_client() { return *client_; }
@@ -119,12 +131,15 @@ class Framework {
     ReadDoneFn rcb;
     Status read_error;
     std::function<void(std::int32_t)> ring_complete;  // posts the CQE
+    StageTrace trace;                                 // per-stage timestamps
   };
 
   class PipelineDriver;  // blk::Driver adapter continuing into FPGA/cluster
 
   void start_io(std::uint64_t token);
   void enter_block_layer(std::uint64_t token);
+  void mark_stage(std::uint64_t token, Stage stage);
+  void wire_metrics();
   void run_remote(const blk::Request& request,
                   std::function<void(std::int32_t)> done);
   void finish_io(std::uint64_t token, std::int32_t res);
@@ -135,6 +150,18 @@ class Framework {
   FrameworkConfig config_;
   VariantTraits traits_;
   FrameworkStats stats_;
+
+  // Observability: registry first so members initialized later may attach.
+  MetricsRegistry metrics_;
+  TraceCollector trace_collector_{metrics_};
+  StageTrace last_trace_;
+  Counter* m_writes_ = nullptr;
+  Counter* m_reads_ = nullptr;
+  Counter* m_bytes_written_ = nullptr;
+  Counter* m_bytes_read_ = nullptr;
+  Counter* m_completions_ = nullptr;
+  Counter* m_errors_ = nullptr;
+  Gauge* m_inflight_ = nullptr;
 
   std::unique_ptr<rados::Cluster> cluster_;
   std::unique_ptr<rados::RadosClient> client_;

@@ -53,12 +53,25 @@ Nanos QdmaEngine::idle_latency(std::uint64_t bytes) const {
          config_.completion_latency;
 }
 
+void QdmaEngine::attach_metrics(MetricsRegistry& registry,
+                                const std::string& prefix) {
+  metrics_.h2c_ops = &registry.counter(prefix + ".h2c_ops");
+  metrics_.c2h_ops = &registry.counter(prefix + ".c2h_ops");
+  metrics_.h2c_bytes = &registry.counter(prefix + ".h2c_bytes");
+  metrics_.c2h_bytes = &registry.counter(prefix + ".c2h_bytes");
+  metrics_.ring_full = &registry.counter(prefix + ".ring_full_rejects");
+  metrics_.outstanding = &registry.gauge(prefix + ".outstanding_descriptors");
+  metrics_.h2c_latency = &registry.histogram(prefix + ".h2c_latency");
+  metrics_.c2h_latency = &registry.histogram(prefix + ".c2h_latency");
+}
+
 Status QdmaEngine::dma(unsigned id, std::uint64_t bytes, bool h2c_dir,
                        sim::EventFn done) {
   QueueSet* qs = queue_set(id);
   if (!qs) return Status::Error(Errc::not_found, "no such queue set");
   if (outstanding_descriptors_ >= kMaxOutstandingDescriptors) {
     ++stats_.ring_full_rejects;
+    if (metrics_.ring_full) metrics_.ring_full->inc();
     return Status::Error(Errc::again, "descriptor RAM exhausted");
   }
 
@@ -69,27 +82,39 @@ Status QdmaEngine::dma(unsigned id, std::uint64_t bytes, bool h2c_dir,
   const Status posted = h2c_dir ? qs->post_h2c(d) : qs->post_c2h(d);
   if (!posted.ok()) {
     ++stats_.ring_full_rejects;
+    if (metrics_.ring_full) metrics_.ring_full->inc();
     return posted;
   }
   ++outstanding_descriptors_;
+  if (metrics_.outstanding) metrics_.outstanding->add();
 
   if (h2c_dir) {
     ++stats_.h2c_ops;
     stats_.h2c_bytes += bytes;
+    if (metrics_.h2c_ops) {
+      metrics_.h2c_ops->inc();
+      metrics_.h2c_bytes->inc(bytes);
+    }
   } else {
     ++stats_.c2h_ops;
     stats_.c2h_bytes += bytes;
+    if (metrics_.c2h_ops) {
+      metrics_.c2h_ops->inc();
+      metrics_.c2h_bytes->inc(bytes);
+    }
   }
+  const Nanos dma_start = sim_.now();
 
   // Doorbell + descriptor fetch (RQ + DE), then PCIe serialization of the
   // descriptor + payload, then the H2C/C2H engine slot, then CE writeback.
   sim_.schedule_after(config_.doorbell_latency, [this, id, bytes, h2c_dir,
+                                                 dma_start,
                                                  done = std::move(done)]() mutable {
     ++stats_.descriptors_fetched;
-    pcie_.transfer(bytes + kDescriptorBytes, [this, id, h2c_dir,
+    pcie_.transfer(bytes + kDescriptorBytes, [this, id, h2c_dir, dma_start,
                                               done = std::move(done)]() mutable {
       auto& engine = h2c_dir ? h2c_engine_ : c2h_engine_;
-      engine.submit(config_.completion_latency, [this, id, h2c_dir,
+      engine.submit(config_.completion_latency, [this, id, h2c_dir, dma_start,
                                                  done = std::move(done)] {
         QueueSet* qs = queue_set(id);
         if (qs) {
@@ -98,6 +123,11 @@ Status QdmaEngine::dma(unsigned id, std::uint64_t bytes, bool h2c_dir,
           if (desc) qs->push_completion(*desc);
         }
         if (outstanding_descriptors_ > 0) --outstanding_descriptors_;
+        if (metrics_.outstanding) {
+          metrics_.outstanding->sub();
+          (h2c_dir ? metrics_.h2c_latency : metrics_.c2h_latency)
+              ->record(sim_.now() - dma_start);
+        }
         if (done) done();
       });
     });

@@ -22,6 +22,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/ring_buffer.hpp"
 #include "common/status.hpp"
 #include "common/units.hpp"
@@ -135,6 +136,11 @@ class QdmaEngine {
   /// would observe on an idle engine.
   Nanos idle_latency(std::uint64_t bytes) const;
 
+  /// Publish DMA activity under "<prefix>." (h2c/c2h op and byte counters,
+  /// ring_full_rejects, an outstanding-descriptors gauge, and h2c/c2h
+  /// doorbell-to-completion latency histograms).
+  void attach_metrics(MetricsRegistry& registry, const std::string& prefix);
+
  private:
   Status dma(unsigned id, std::uint64_t bytes, bool h2c_dir,
              sim::EventFn done);
@@ -148,6 +154,18 @@ class QdmaEngine {
   sim::FifoServer h2c_engine_;
   sim::FifoServer c2h_engine_;
   unsigned outstanding_descriptors_ = 0;
+
+  struct MetricHandles {
+    Counter* h2c_ops = nullptr;
+    Counter* c2h_ops = nullptr;
+    Counter* h2c_bytes = nullptr;
+    Counter* c2h_bytes = nullptr;
+    Counter* ring_full = nullptr;
+    Gauge* outstanding = nullptr;
+    HistogramMetric* h2c_latency = nullptr;
+    HistogramMetric* c2h_latency = nullptr;
+  };
+  MetricHandles metrics_;
 };
 
 }  // namespace dk::fpga

@@ -10,6 +10,15 @@ RbdDevice::RbdDevice(rados::RadosClient& client, RbdImageSpec spec)
   assert(spec_.object_size > 0);
 }
 
+void RbdDevice::attach_metrics(MetricsRegistry& registry,
+                               const std::string& prefix) {
+  metrics_.writes = &registry.counter(prefix + ".writes");
+  metrics_.reads = &registry.counter(prefix + ".reads");
+  metrics_.object_ops = &registry.counter(prefix + ".object_ops");
+  metrics_.bytes_written = &registry.counter(prefix + ".bytes_written");
+  metrics_.bytes_read = &registry.counter(prefix + ".bytes_read");
+}
+
 std::vector<RbdDevice::Extent> RbdDevice::extents(std::uint64_t offset,
                                                   std::uint64_t length) const {
   std::vector<Extent> out;
@@ -36,6 +45,11 @@ void RbdDevice::aio_write(std::uint64_t offset, std::vector<std::uint8_t> data,
   auto exts = extents(offset, data.size());
   assert(!exts.empty());
   stats_.object_ops += exts.size();
+  if (metrics_.writes) {
+    metrics_.writes->inc();
+    metrics_.bytes_written->inc(data.size());
+    metrics_.object_ops->inc(exts.size());
+  }
 
   struct State {
     unsigned remaining;
@@ -82,6 +96,11 @@ void RbdDevice::aio_read(
   auto exts = extents(offset, length);
   assert(!exts.empty());
   stats_.object_ops += exts.size();
+  if (metrics_.reads) {
+    metrics_.reads->inc();
+    metrics_.bytes_read->inc(length);
+    metrics_.object_ops->inc(exts.size());
+  }
 
   struct State {
     unsigned remaining;

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "rados/client.hpp"
 
 namespace dk::host {
@@ -49,6 +50,10 @@ class RbdDevice {
                 rados::ReadStrategy strategy,
                 std::function<void(Result<std::vector<std::uint8_t>>)> cb);
 
+  /// Publish image activity under "<prefix>." (writes/reads/object_ops/
+  /// bytes_written/bytes_read counters).
+  void attach_metrics(MetricsRegistry& registry, const std::string& prefix);
+
   /// Object id for a byte offset (striping function).
   std::uint64_t oid_of(std::uint64_t offset) const {
     return (static_cast<std::uint64_t>(spec_.image_id) << 40) |
@@ -66,6 +71,15 @@ class RbdDevice {
   rados::RadosClient& client_;
   RbdImageSpec spec_;
   RbdStats stats_;
+
+  struct MetricHandles {
+    Counter* writes = nullptr;
+    Counter* reads = nullptr;
+    Counter* object_ops = nullptr;
+    Counter* bytes_written = nullptr;
+    Counter* bytes_read = nullptr;
+  };
+  MetricHandles metrics_;
 };
 
 }  // namespace dk::host

@@ -17,8 +17,27 @@ UifdDriver::UifdDriver(fpga::FpgaDevice& device, UifdConfig config,
   }
 }
 
+void UifdDriver::attach_metrics(MetricsRegistry& registry,
+                                const std::string& prefix) {
+  metrics_.writes = &registry.counter(prefix + ".writes");
+  metrics_.reads = &registry.counter(prefix + ".reads");
+  metrics_.h2c_bytes = &registry.counter(prefix + ".h2c_bytes");
+  metrics_.c2h_bytes = &registry.counter(prefix + ".c2h_bytes");
+  metrics_.errors = &registry.counter(prefix + ".errors");
+  metrics_.inflight = &registry.gauge(prefix + ".inflight");
+}
+
 void UifdDriver::queue_rq(blk::Request request) {
   const unsigned qs = queue_set_for(request);
+  if (metrics_.inflight) {
+    metrics_.inflight->add();
+    auto inner = std::move(request.complete);
+    request.complete = [this, inner = std::move(inner)](std::int32_t res) {
+      metrics_.inflight->sub();
+      if (res < 0 && metrics_.errors) metrics_.errors->inc();
+      inner(res);
+    };
+  }
   // Requests are move-captured through the async chain; share them so both
   // the DMA completion and the remote completion see the same object.
   auto req = std::make_shared<blk::Request>(std::move(request));
@@ -26,6 +45,10 @@ void UifdDriver::queue_rq(blk::Request request) {
   if (req->op == blk::ReqOp::write || req->op == blk::ReqOp::flush) {
     ++stats_.writes;
     stats_.h2c_bytes += req->len;
+    if (metrics_.writes) {
+      metrics_.writes->inc();
+      metrics_.h2c_bytes->inc(req->len);
+    }
     // Host-to-card payload DMA, then the storage-side pipeline.
     const Status s = device_.qdma().h2c(qs, req->len, [this, req] {
       remote_(*req, [this, req](std::int32_t res) {
@@ -41,6 +64,7 @@ void UifdDriver::queue_rq(blk::Request request) {
   }
 
   ++stats_.reads;
+  if (metrics_.reads) metrics_.reads->inc();
   // Storage-side fetch first, then card-to-host payload DMA.
   remote_(*req, [this, qs, req](std::int32_t res) {
     if (res < 0) {
@@ -49,6 +73,7 @@ void UifdDriver::queue_rq(blk::Request request) {
       return;
     }
     stats_.c2h_bytes += req->len;
+    if (metrics_.c2h_bytes) metrics_.c2h_bytes->inc(req->len);
     const Status s = device_.qdma().c2h(
         qs, req->len, [req, res] { req->complete(res); });
     if (!s.ok()) {

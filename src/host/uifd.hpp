@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "blk/mq.hpp"
+#include "common/metrics.hpp"
 #include "fpga/device.hpp"
 
 namespace dk::host {
@@ -53,6 +54,10 @@ class UifdDriver final : public blk::Driver {
   /// remotely first, then DMA card->host.
   void queue_rq(blk::Request request) override;
 
+  /// Publish driver activity under "<prefix>." (writes/reads/h2c_bytes/
+  /// c2h_bytes/errors counters plus an in-flight gauge).
+  void attach_metrics(MetricsRegistry& registry, const std::string& prefix);
+
  private:
   unsigned queue_set_for(const blk::Request& request) const {
     return queue_sets_[request.hw_queue % queue_sets_.size()];
@@ -63,6 +68,16 @@ class UifdDriver final : public blk::Driver {
   RemoteIoFn remote_;
   std::vector<unsigned> queue_sets_;
   UifdStats stats_;
+
+  struct MetricHandles {
+    Counter* writes = nullptr;
+    Counter* reads = nullptr;
+    Counter* h2c_bytes = nullptr;
+    Counter* c2h_bytes = nullptr;
+    Counter* errors = nullptr;
+    Gauge* inflight = nullptr;
+  };
+  MetricHandles metrics_;
 };
 
 }  // namespace dk::host

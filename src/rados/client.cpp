@@ -9,6 +9,27 @@ RadosClient::RadosClient(Cluster& cluster) : cluster_(cluster) {
       [this](std::shared_ptr<OpBody> body) { on_reply(std::move(body)); });
 }
 
+void RadosClient::attach_metrics(MetricsRegistry& registry,
+                                 const std::string& prefix) {
+  metrics_.ops_started = &registry.counter(prefix + ".ops_started");
+  metrics_.ops_completed = &registry.counter(prefix + ".ops_completed");
+  metrics_.messages_sent = &registry.counter(prefix + ".messages_sent");
+  metrics_.ec_bytes_encoded = &registry.counter(prefix + ".ec_bytes_encoded");
+  metrics_.inflight = &registry.gauge(prefix + ".inflight");
+}
+
+void RadosClient::op_started() {
+  if (metrics_.ops_started) {
+    metrics_.ops_started->inc();
+    metrics_.inflight->add();
+  }
+}
+
+void RadosClient::send(int osd, std::shared_ptr<OpBody> body) {
+  if (metrics_.messages_sent) metrics_.messages_sent->inc();
+  cluster_.send_from_client(osd, std::move(body));
+}
+
 const ec::ReedSolomon& RadosClient::codec(unsigned k, unsigned m) {
   const std::uint64_t key = (static_cast<std::uint64_t>(k) << 32) | m;
   auto it = codecs_.find(key);
@@ -51,6 +72,7 @@ void RadosClient::write_replicated(int pool, std::uint64_t oid,
   if (strategy == WriteStrategy::primary_copy) {
     pend.awaiting = 1;
     pending_.emplace(op_id, std::move(pend));
+    op_started();
     auto body = std::make_shared<OpBody>();
     body->type = OpType::client_write;
     body->op_id = op_id;
@@ -58,13 +80,14 @@ void RadosClient::write_replicated(int pool, std::uint64_t oid,
     body->offset = offset;
     body->data = std::move(data);
     body->replicas.assign(acting.begin() + 1, acting.end());
-    cluster_.send_from_client(acting[0], std::move(body));
+    send(acting[0], std::move(body));
     return;
   }
 
   // client_fanout: one direct copy per replica, acked independently.
   pend.awaiting = static_cast<unsigned>(acting.size());
   pending_.emplace(op_id, std::move(pend));
+  op_started();
   for (int osd : acting) {
     auto body = std::make_shared<OpBody>();
     body->type = OpType::shard_write;
@@ -73,7 +96,7 @@ void RadosClient::write_replicated(int pool, std::uint64_t oid,
     body->offset = offset;
     body->data = data;  // full copy per replica, as the QDMA engine emits
     body->reply_osd = -1;
-    cluster_.send_from_client(osd, std::move(body));
+    send(osd, std::move(body));
   }
 }
 
@@ -95,6 +118,7 @@ void RadosClient::write_ec(int pool, std::uint64_t oid, std::uint64_t offset,
   if (strategy == WriteStrategy::primary_copy) {
     pend.awaiting = 1;
     pending_.emplace(op_id, std::move(pend));
+    op_started();
     auto body = std::make_shared<OpBody>();
     body->type = OpType::ec_primary_write;
     body->op_id = op_id;
@@ -104,7 +128,7 @@ void RadosClient::write_ec(int pool, std::uint64_t oid, std::uint64_t offset,
     body->replicas = acting;
     body->ec_k = k;
     body->ec_m = m;
-    cluster_.send_from_client(acting[0], std::move(body));
+    send(acting[0], std::move(body));
     return;
   }
 
@@ -113,6 +137,7 @@ void RadosClient::write_ec(int pool, std::uint64_t oid, std::uint64_t offset,
   // each shard on the wire directly.
   const auto& rs = codec(k, m);
   ec_encoded_ += data.size();
+  if (metrics_.ec_bytes_encoded) metrics_.ec_bytes_encoded->inc(data.size());
   auto chunks = rs.split(data);
   auto coding = rs.encode(chunks);
   assert(coding.ok());
@@ -120,6 +145,7 @@ void RadosClient::write_ec(int pool, std::uint64_t oid, std::uint64_t offset,
 
   pend.awaiting = static_cast<unsigned>(chunks.size());
   pending_.emplace(op_id, std::move(pend));
+  op_started();
   const std::uint64_t shard_off = offset / k;
   for (unsigned s = 0; s < chunks.size(); ++s) {
     auto body = std::make_shared<OpBody>();
@@ -130,7 +156,7 @@ void RadosClient::write_ec(int pool, std::uint64_t oid, std::uint64_t offset,
     body->offset = shard_off;
     body->data = std::move(chunks[s]);
     body->reply_osd = -1;
-    cluster_.send_from_client(acting[s], std::move(body));
+    send(acting[s], std::move(body));
   }
 }
 
@@ -160,6 +186,7 @@ void RadosClient::read_replicated(int pool, std::uint64_t oid,
   pend.awaiting = 1;
   pend.rcb = std::move(cb);
   pending_.emplace(op_id, std::move(pend));
+  op_started();
 
   auto body = std::make_shared<OpBody>();
   body->type = OpType::client_read;
@@ -167,7 +194,7 @@ void RadosClient::read_replicated(int pool, std::uint64_t oid,
   body->key = ObjectKey{static_cast<std::uint32_t>(pool), oid, -1};
   body->offset = offset;
   body->length = length;
-  cluster_.send_from_client(acting[0], std::move(body));
+  send(acting[0], std::move(body));
 }
 
 void RadosClient::read_ec(int pool, std::uint64_t oid, std::uint64_t offset,
@@ -188,6 +215,7 @@ void RadosClient::read_ec(int pool, std::uint64_t oid, std::uint64_t offset,
     pend.awaiting = 1;
     pend.rcb = std::move(cb);
     pending_.emplace(op_id, std::move(pend));
+    op_started();
     auto body = std::make_shared<OpBody>();
     body->type = OpType::ec_primary_read;
     body->op_id = op_id;
@@ -197,7 +225,7 @@ void RadosClient::read_ec(int pool, std::uint64_t oid, std::uint64_t offset,
     body->replicas = acting;
     body->ec_k = k;
     body->ec_m = m;
-    cluster_.send_from_client(acting[0], std::move(body));
+    send(acting[0], std::move(body));
     return;
   }
 
@@ -221,6 +249,7 @@ void RadosClient::read_ec(int pool, std::uint64_t oid, std::uint64_t offset,
   pend.chunks.resize(k + m);
   pend.rcb = std::move(cb);
   pending_.emplace(op_id, std::move(pend));
+  op_started();
 
   const std::uint64_t chunk_len = (length + k - 1) / k;
   const std::uint64_t shard_off = offset / k;
@@ -233,7 +262,7 @@ void RadosClient::read_ec(int pool, std::uint64_t oid, std::uint64_t offset,
     body->offset = shard_off;
     body->length = chunk_len;
     body->reply_osd = -1;
-    cluster_.send_from_client(acting[s], std::move(body));
+    send(acting[s], std::move(body));
   }
 }
 
@@ -250,6 +279,10 @@ void RadosClient::on_reply(std::shared_ptr<OpBody> body) {
   if (--pend.awaiting != 0) return;
 
   ++completed_;
+  if (metrics_.ops_completed) {
+    metrics_.ops_completed->inc();
+    metrics_.inflight->sub();
+  }
   if (!pend.is_read) {
     auto cb = std::move(pend.wcb);
     pending_.erase(it);

@@ -24,6 +24,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/status.hpp"
 #include "ec/reed_solomon.hpp"
 #include "rados/cluster.hpp"
@@ -64,6 +65,12 @@ class RadosClient {
   std::uint64_t ops_completed() const { return completed_; }
   std::uint64_t ops_in_flight() const { return pending_.size(); }
 
+  /// Publish client activity under "<prefix>." (ops_started/ops_completed/
+  /// messages_sent/ec_bytes_encoded counters plus an in-flight gauge).
+  /// messages_sent counts wire messages, so the client_fanout vs
+  /// primary_copy fan-out difference is directly visible.
+  void attach_metrics(MetricsRegistry& registry, const std::string& prefix);
+
  private:
   struct Pending {
     unsigned awaiting = 0;
@@ -78,6 +85,8 @@ class RadosClient {
 
   void on_reply(std::shared_ptr<OpBody> body);
   const ec::ReedSolomon& codec(unsigned k, unsigned m);
+  void op_started();
+  void send(int osd, std::shared_ptr<OpBody> body);
 
   void write_replicated(int pool, std::uint64_t oid, std::uint64_t offset,
                         std::vector<std::uint8_t> data,
@@ -100,6 +109,15 @@ class RadosClient {
   crush::PlacementWork work_;
   std::uint64_t ec_encoded_ = 0;
   std::uint64_t completed_ = 0;
+
+  struct MetricHandles {
+    Counter* ops_started = nullptr;
+    Counter* ops_completed = nullptr;
+    Counter* messages_sent = nullptr;
+    Counter* ec_bytes_encoded = nullptr;
+    Gauge* inflight = nullptr;
+  };
+  MetricHandles metrics_;
 };
 
 }  // namespace dk::rados

@@ -12,6 +12,12 @@ Osd::Osd(sim::Simulator& sim, int id, OsdConfig config, std::uint64_t seed)
       rng_(seed),
       workers_(sim, config.op_threads, "osd-workers") {}
 
+void Osd::attach_metrics(MetricsRegistry& registry, const std::string& prefix) {
+  metrics_.ops = &registry.counter(prefix + ".ops");
+  metrics_.read_service = &registry.histogram(prefix + ".read_service");
+  metrics_.write_service = &registry.histogram(prefix + ".write_service");
+}
+
 Nanos Osd::service_time(std::uint64_t bytes, bool is_write,
                         const ObjectKey& key, std::uint64_t offset) {
   auto& last_end = is_write ? last_write_end_ : last_read_end_;
@@ -29,12 +35,19 @@ Nanos Osd::service_time(std::uint64_t bytes, bool is_write,
       config_.op_fixed + media_fixed + transfer_time(bytes, config_.media_bps);
   const Nanos jitter = static_cast<Nanos>(
       rng_.exponential(config_.jitter_frac * static_cast<double>(base)));
-  return base + jitter;
+  const Nanos total = base + jitter;
+  // service_time() is the single choke point every op's media/CPU cost
+  // passes through, so it doubles as the OSD-side trace point.
+  if (metrics_.read_service) {
+    (is_write ? metrics_.write_service : metrics_.read_service)->record(total);
+  }
+  return total;
 }
 
 void Osd::handle(std::shared_ptr<OpBody> body) {
   assert(send_ && "messenger not wired");
   ++ops_served_;
+  if (metrics_.ops) metrics_.ops->inc();
   switch (body->type) {
     case OpType::client_write: do_client_write(std::move(body)); break;
     case OpType::client_read: do_client_read(std::move(body)); break;

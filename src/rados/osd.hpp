@@ -13,6 +13,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "ec/reed_solomon.hpp"
 #include "common/units.hpp"
@@ -63,6 +64,11 @@ class Osd {
   Nanos service_time(std::uint64_t bytes, bool is_write, const ObjectKey& key,
                      std::uint64_t offset);
 
+  /// Publish OSD-side activity under "<prefix>." (ops counter plus read/
+  /// write service-time histograms). Many OSDs typically share one registry
+  /// and prefix, yielding cluster-aggregate OSD service distributions.
+  void attach_metrics(MetricsRegistry& registry, const std::string& prefix);
+
  private:
   void do_client_write(std::shared_ptr<OpBody> body);
   void do_client_read(std::shared_ptr<OpBody> body);
@@ -104,6 +110,13 @@ class Osd {
   std::map<std::uint64_t, PendingRead> pending_reads_;
   std::map<std::uint64_t, std::unique_ptr<ec::ReedSolomon>> codecs_;
   std::uint64_t ops_served_ = 0;
+
+  struct MetricHandles {
+    Counter* ops = nullptr;
+    HistogramMetric* read_service = nullptr;
+    HistogramMetric* write_service = nullptr;
+  };
+  MetricHandles metrics_;
 };
 
 }  // namespace dk::rados

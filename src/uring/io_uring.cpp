@@ -8,9 +8,20 @@ IoUring::IoUring(UringParams params, Backend& backend)
       sq_(params.sq_entries),
       cq_(params.cq_entries ? params.cq_entries : 2 * params.sq_entries) {}
 
+void IoUring::attach_metrics(MetricsRegistry& registry,
+                             const std::string& prefix) {
+  metrics_.sqes = &registry.counter(prefix + ".sqes_submitted");
+  metrics_.cqes = &registry.counter(prefix + ".cqes_reaped");
+  metrics_.enters = &registry.counter(prefix + ".enter_calls");
+  metrics_.poll_wakeups = &registry.counter(prefix + ".sq_poll_wakeups");
+  metrics_.sq_full = &registry.counter(prefix + ".sq_full_rejects");
+  metrics_.outstanding = &registry.gauge(prefix + ".outstanding");
+}
+
 Status IoUring::prep(const Sqe& sqe) {
   if (!sq_.try_push(sqe)) {
     ++stats_.sq_full_rejects;
+    if (metrics_.sq_full) metrics_.sq_full->inc();
     return Status::Error(Errc::again, "SQ full");
   }
   return Status::Ok();
@@ -120,6 +131,7 @@ void IoUring::issue_chain(std::shared_ptr<std::vector<Sqe>> chain,
 }
 
 unsigned IoUring::drain_sq() {
+  const std::uint64_t before = stats_.sqes_submitted;
   unsigned n = 0;
   Sqe sqe;
   while (sq_.try_pop(sqe)) {
@@ -145,19 +157,28 @@ unsigned IoUring::drain_sq() {
     }
     issue(sqe);
   }
+  const std::uint64_t moved = stats_.sqes_submitted - before;
+  if (moved && metrics_.sqes) {
+    metrics_.sqes->inc(moved);
+    metrics_.outstanding->add(static_cast<std::int64_t>(moved));
+  }
   return n;
 }
 
 unsigned IoUring::enter() {
   if (params_.mode == RingMode::kernel_polled) return 0;
   ++stats_.enter_calls;
+  if (metrics_.enters) metrics_.enters->inc();
   return drain_sq();
 }
 
 unsigned IoUring::kernel_poll() {
   if (params_.mode != RingMode::kernel_polled) return 0;
   const unsigned n = drain_sq();
-  if (n) ++stats_.sq_poll_wakeups;
+  if (n) {
+    ++stats_.sq_poll_wakeups;
+    if (metrics_.poll_wakeups) metrics_.poll_wakeups->inc();
+  }
   return n;
 }
 
@@ -165,6 +186,10 @@ unsigned IoUring::peek_cqes(std::span<Cqe> out) {
   const unsigned n =
       static_cast<unsigned>(cq_.try_pop_batch(out.data(), out.size()));
   stats_.cqes_reaped += n;
+  if (n && metrics_.cqes) {
+    metrics_.cqes->inc(n);
+    metrics_.outstanding->sub(n);
+  }
   return n;
 }
 

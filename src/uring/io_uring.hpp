@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/ring_buffer.hpp"
 #include "common/status.hpp"
 #include "uring/sqe.hpp"
@@ -122,6 +123,12 @@ class IoUring {
   /// True once every submitted SQE has completed and been reaped.
   bool idle() const { return inflight() == 0 && cq_.size() == 0; }
 
+  /// Publish ring activity into `registry` under "<prefix>." names
+  /// (sqes_submitted, cqes_reaped, enter_calls, sq_poll_wakeups,
+  /// sq_full_rejects counters and an unreaped-completions gauge). Handles
+  /// are resolved once here; hot-path updates are lock-free.
+  void attach_metrics(MetricsRegistry& registry, const std::string& prefix);
+
  private:
   unsigned drain_sq();
   // Resolve fixed buffers/files into a plain SQE; nullopt -> invalid, and a
@@ -137,6 +144,17 @@ class IoUring {
   UringStats stats_;
   std::vector<std::pair<std::uint64_t, std::uint32_t>> buffers_;
   std::vector<std::int32_t> files_;
+
+  // Optional live metric handles (null until attach_metrics()).
+  struct MetricHandles {
+    Counter* sqes = nullptr;
+    Counter* cqes = nullptr;
+    Counter* enters = nullptr;
+    Counter* poll_wakeups = nullptr;
+    Counter* sq_full = nullptr;
+    Gauge* outstanding = nullptr;  // submitted - reaped (in flight + CQ)
+  };
+  MetricHandles metrics_;
 };
 
 }  // namespace dk::uring

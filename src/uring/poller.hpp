@@ -21,6 +21,11 @@ namespace dk::uring {
 struct SqPollParams {
   unsigned idle_spins = 1024;  // empty polls before napping
   std::chrono::microseconds nap{50};
+  // Optional sink for live poll/nap/moved counters, published under
+  // "<metrics_prefix>.". The registry must outlive the thread; counter
+  // handles are atomic, so the poll thread updates them without locking.
+  MetricsRegistry* metrics = nullptr;
+  std::string metrics_prefix = "sqpoll";
 };
 
 class SqPollThread {
@@ -30,6 +35,12 @@ class SqPollThread {
   explicit SqPollThread(std::vector<IoUring*> rings,
                         SqPollParams params = SqPollParams())
       : rings_(std::move(rings)), params_(params) {
+    if (params_.metrics) {
+      const std::string& p = params_.metrics_prefix;
+      m_polls_ = &params_.metrics->counter(p + ".polls");
+      m_naps_ = &params_.metrics->counter(p + ".naps");
+      m_moved_ = &params_.metrics->counter(p + ".sqes_moved");
+    }
     thread_ = std::jthread([this](std::stop_token st) { run(st); });
   }
 
@@ -57,13 +68,16 @@ class SqPollThread {
       unsigned moved = 0;
       for (IoUring* ring : rings_) moved += ring->kernel_poll();
       polls_.fetch_add(1, std::memory_order_relaxed);
+      if (m_polls_) m_polls_->inc();
       if (moved) {
+        if (m_moved_) m_moved_->inc(moved);
         idle = 0;
         continue;
       }
       if (++idle >= params_.idle_spins) {
         napping_.store(true, std::memory_order_release);
         naps_.fetch_add(1, std::memory_order_relaxed);
+        if (m_naps_) m_naps_->inc();
         std::this_thread::sleep_for(params_.nap);
         napping_.store(false, std::memory_order_release);
         idle = 0;
@@ -73,6 +87,9 @@ class SqPollThread {
 
   std::vector<IoUring*> rings_;
   Params params_;
+  Counter* m_polls_ = nullptr;
+  Counter* m_naps_ = nullptr;
+  Counter* m_moved_ = nullptr;
   std::atomic<std::uint64_t> polls_{0};
   std::atomic<std::uint64_t> naps_{0};
   std::atomic<bool> napping_{false};
