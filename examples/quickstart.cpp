@@ -3,10 +3,10 @@
 // write a block, read it back, and print what happened.
 //
 //   $ ./quickstart
-#include <cassert>
 #include <iostream>
 #include <vector>
 
+#include "common/check.hpp"
 #include "core/framework.hpp"
 
 int main() {
@@ -38,7 +38,7 @@ int main() {
   const Nanos w0 = sim.now();
   fw.write(/*job=*/0, /*offset=*/7 * 4096, payload, [&](std::int32_t res) {
     write_latency = sim.now() - w0;
-    assert(res == 4096);
+    DK_CHECK(res == 4096) << "short write: " << res;
   });
   sim.run();
   std::cout << "write(4 kB): " << to_us(write_latency) << " us end-to-end\n";

@@ -1,16 +1,29 @@
 #include "blk/mq.hpp"
 
-#include <cassert>
 #include <memory>
 #include <utility>
+
+#include "common/check.hpp"
+#include "common/pipeline_validator.hpp"
 
 namespace dk::blk {
 
 MqBlockLayer::MqBlockLayer(MqConfig config, Driver& driver)
     : config_(config), driver_(driver) {
-  assert(config_.nr_hw_queues >= 1 && config_.queue_depth >= 1);
+  DK_CHECK(config_.nr_hw_queues >= 1 && config_.queue_depth >= 1);
   pending_.resize(config_.nr_hw_queues);
-  free_tags_.assign(config_.nr_hw_queues, config_.queue_depth);
+  free_tags_.resize(config_.nr_hw_queues);
+  for (auto& tags : free_tags_) {
+    // Stack holds depth-1 .. 0 so the first dispatch draws tag 0.
+    tags.reserve(config_.queue_depth);
+    for (unsigned t = config_.queue_depth; t-- > 0;) tags.push_back(t);
+  }
+}
+
+void MqBlockLayer::attach_validator(PipelineValidator& validator) {
+  validator_ = &validator;
+  for (unsigned q = 0; q < config_.nr_hw_queues; ++q)
+    validator.set_tag_depth(q, config_.queue_depth);
 }
 
 void MqBlockLayer::attach_metrics(MetricsRegistry& registry,
@@ -137,15 +150,16 @@ bool MqBlockLayer::try_merge(unsigned hwq, Request& request) {
 void MqBlockLayer::dispatch(unsigned hwq) {
   auto& queue = pending_[hwq];
   while (!queue.empty()) {
-    if (free_tags_[hwq] == 0) {
+    if (free_tags_[hwq].empty()) {
       ++stats_.tag_waits;
       if (metrics_.tag_waits) metrics_.tag_waits->inc();
       return;  // tags exhausted; run_queues() after completions
     }
     Request req = std::move(queue.front());
     queue.pop_front();
-    --free_tags_[hwq];
-    req.tag = config_.queue_depth - free_tags_[hwq] - 1;
+    req.tag = free_tags_[hwq].back();
+    free_tags_[hwq].pop_back();
+    if (validator_) validator_->on_tag_acquired(hwq, req.tag);
     ++stats_.dispatched;
     if (metrics_.dispatched) {
       metrics_.dispatched->inc();
@@ -155,8 +169,13 @@ void MqBlockLayer::dispatch(unsigned hwq) {
 
     // Wrap completion to release the tag and re-pump this queue.
     auto inner = std::move(req.complete);
-    req.complete = [this, hwq, inner = std::move(inner)](std::int32_t res) {
-      ++free_tags_[hwq];
+    const unsigned tag = req.tag;
+    req.complete = [this, hwq, tag,
+                    inner = std::move(inner)](std::int32_t res) {
+      DK_CHECK(tags_in_use(hwq) > 0)
+          << "completion on hw queue " << hwq << " with no tags in flight";
+      free_tags_[hwq].push_back(tag);
+      if (validator_) validator_->on_tag_released(hwq, tag);
       ++stats_.completed;
       if (metrics_.completed) {
         metrics_.completed->inc();

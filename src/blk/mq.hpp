@@ -23,6 +23,10 @@
 #include "common/metrics.hpp"
 #include "common/status.hpp"
 
+namespace dk {
+class PipelineValidator;
+}  // namespace dk
+
 namespace dk::blk {
 
 enum class ReqOp : std::uint8_t { read, write, flush };
@@ -90,7 +94,8 @@ class MqBlockLayer {
 
   /// Tags currently held by in-flight requests on a hardware queue.
   unsigned tags_in_use(unsigned hw_queue) const {
-    return config_.queue_depth - free_tags_[hw_queue];
+    return config_.queue_depth -
+           static_cast<unsigned>(free_tags_[hw_queue].size());
   }
   std::size_t queued(unsigned hw_queue) const {
     return pending_[hw_queue].size();
@@ -101,16 +106,23 @@ class MqBlockLayer {
   /// for tags in use and elevator occupancy across all hardware queues).
   void attach_metrics(MetricsRegistry& registry, const std::string& prefix);
 
+  /// Report tag acquire/release to `validator` (one tag set per hardware
+  /// queue, depth = queue_depth). Same pattern as attach_metrics().
+  void attach_validator(PipelineValidator& validator);
+
  private:
   void dispatch(unsigned hw_queue);
   bool try_merge(unsigned hw_queue, Request& request);
 
   MqConfig config_;
   Driver& driver_;
-  // Per-hardware-queue elevator queues and free tag counts.
+  // Per-hardware-queue elevator queues and free-tag stacks. A tag set is a
+  // free-list (like sbitmap in blk-mq): pop on dispatch, push on complete,
+  // so concurrently in-flight requests always hold distinct tags.
   std::vector<std::deque<Request>> pending_;
-  std::vector<unsigned> free_tags_;
+  std::vector<std::vector<unsigned>> free_tags_;
   MqStats stats_;
+  PipelineValidator* validator_ = nullptr;
 
   struct MetricHandles {
     Counter* submitted = nullptr;

@@ -1,0 +1,307 @@
+#include "common/pipeline_validator.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace dk {
+
+namespace {
+constexpr std::size_t kMaxLogEntries = 64;
+}  // namespace
+
+std::string_view PipelineValidator::violation_name(Violation kind) {
+  switch (kind) {
+    case Violation::ring_accounting: return "ring_accounting";
+    case Violation::double_completion: return "double_completion";
+    case Violation::cqe_dropped: return "cqe_dropped";
+    case Violation::tag_double_acquire: return "tag_double_acquire";
+    case Violation::tag_bad_release: return "tag_bad_release";
+    case Violation::tag_overflow: return "tag_overflow";
+    case Violation::tag_leak: return "tag_leak";
+    case Violation::descriptor_lifetime: return "descriptor_lifetime";
+    case Violation::descriptor_leak: return "descriptor_leak";
+    case Violation::trace_order: return "trace_order";
+    case Violation::quiescence: return "quiescence";
+  }
+  return "unknown";
+}
+
+PipelineValidator::PipelineValidator(MetricsRegistry* registry)
+    : registry_(registry) {}
+
+void PipelineValidator::violation(Violation kind, int line,
+                                  const std::string& message) {
+  const auto idx = static_cast<std::size_t>(kind);
+  ++counts_[idx];
+  ++total_;
+  if (registry_) {
+    registry_
+        ->counter(std::string("check.violations.") +
+                  std::string(violation_name(kind)))
+        .inc();
+  }
+  if (log_.size() >= kMaxLogEntries) log_.erase(log_.begin());
+  log_.push_back(std::string(violation_name(kind)) + ": " + message);
+  detail::report_check_failure(CheckContext{
+      violation_name(kind).data(), __FILE__, line, message, DK_CHECK_FATAL_});
+}
+
+PipelineValidator::RingState& PipelineValidator::ring_state(unsigned ring) {
+  return rings_[ring];
+}
+
+PipelineValidator::TagState& PipelineValidator::tag_state(unsigned hw_queue) {
+  return tags_[hw_queue];
+}
+
+// --- SQ/CQ ring state machine ----------------------------------------------
+
+void PipelineValidator::on_sqe_queued(unsigned ring) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  ++ring_state(ring).queued;
+}
+
+void PipelineValidator::on_sqe_issued(unsigned ring, std::uint64_t user_data) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RingState& r = ring_state(ring);
+  ++r.issued;
+  if (r.issued > r.queued) {
+    std::ostringstream os;
+    os << "ring " << ring << ": SQ head (" << r.issued
+       << ") overran SQ tail (" << r.queued << ")";
+    violation(Violation::ring_accounting, __LINE__, os.str());
+  }
+  ++r.inflight[user_data];
+}
+
+void PipelineValidator::on_cqe_posted(unsigned ring, std::uint64_t user_data) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RingState& r = ring_state(ring);
+  ++r.posted;
+  auto it = r.inflight.find(user_data);
+  if (it == r.inflight.end() || it->second == 0) {
+    std::ostringstream os;
+    os << "ring " << ring << ": completion posted for user_data " << user_data
+       << " with no SQE in flight (double completion)";
+    violation(Violation::double_completion, __LINE__, os.str());
+    return;
+  }
+  if (--it->second == 0) r.inflight.erase(it);
+}
+
+void PipelineValidator::on_cqe_dropped(unsigned ring,
+                                       std::uint64_t user_data) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::ostringstream os;
+  os << "ring " << ring << ": CQ overflow dropped completion for user_data "
+     << user_data;
+  violation(Violation::cqe_dropped, __LINE__, os.str());
+}
+
+void PipelineValidator::on_cqes_reaped(unsigned ring, unsigned n) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RingState& r = ring_state(ring);
+  r.reaped += n;
+  if (r.reaped > r.posted) {
+    std::ostringstream os;
+    os << "ring " << ring << ": CQ head (" << r.reaped
+       << ") overran CQ tail (" << r.posted << ")";
+    violation(Violation::ring_accounting, __LINE__, os.str());
+  }
+}
+
+// --- blk-mq tag lifecycle ---------------------------------------------------
+
+void PipelineValidator::set_tag_depth(unsigned hw_queue, unsigned depth) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  TagState& t = tag_state(hw_queue);
+  t.depth = depth;
+  t.in_use = 0;
+  t.held.assign(depth, 0);
+}
+
+void PipelineValidator::on_tag_acquired(unsigned hw_queue, unsigned tag) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  TagState& t = tag_state(hw_queue);
+  if (t.depth != 0 && tag >= t.depth) {
+    std::ostringstream os;
+    os << "hw queue " << hw_queue << ": tag " << tag
+       << " outside tag set of depth " << t.depth;
+    violation(Violation::tag_overflow, __LINE__, os.str());
+    return;
+  }
+  if (tag >= t.held.size()) t.held.resize(tag + 1, 0);
+  if (t.held[tag]) {
+    std::ostringstream os;
+    os << "hw queue " << hw_queue << ": tag " << tag
+       << " acquired while still held";
+    violation(Violation::tag_double_acquire, __LINE__, os.str());
+    return;
+  }
+  t.held[tag] = 1;
+  ++t.in_use;
+  if (t.depth != 0 && t.in_use > t.depth) {
+    std::ostringstream os;
+    os << "hw queue " << hw_queue << ": " << t.in_use
+       << " tags in flight exceeds depth " << t.depth;
+    violation(Violation::tag_overflow, __LINE__, os.str());
+  }
+}
+
+void PipelineValidator::on_tag_released(unsigned hw_queue, unsigned tag) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  TagState& t = tag_state(hw_queue);
+  if (tag >= t.held.size() || !t.held[tag]) {
+    std::ostringstream os;
+    os << "hw queue " << hw_queue << ": tag " << tag
+       << " released while not held";
+    violation(Violation::tag_bad_release, __LINE__, os.str());
+    return;
+  }
+  t.held[tag] = 0;
+  --t.in_use;
+}
+
+// --- QDMA descriptor lifecycle ----------------------------------------------
+
+void PipelineValidator::on_descriptor_posted(std::uint64_t descriptor) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto [it, inserted] =
+      descriptors_.emplace(descriptor, DescriptorState::posted);
+  if (!inserted) {
+    std::ostringstream os;
+    os << "descriptor " << descriptor << " posted twice (reuse before "
+       << "completion)";
+    violation(Violation::descriptor_lifetime, __LINE__, os.str());
+  }
+}
+
+void PipelineValidator::on_descriptor_fetched(std::uint64_t descriptor) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto it = descriptors_.find(descriptor);
+  if (it == descriptors_.end()) {
+    std::ostringstream os;
+    os << "descriptor " << descriptor << " fetched but never posted";
+    violation(Violation::descriptor_lifetime, __LINE__, os.str());
+    return;
+  }
+  if (it->second != DescriptorState::posted) {
+    std::ostringstream os;
+    os << "descriptor " << descriptor << " fetched twice";
+    violation(Violation::descriptor_lifetime, __LINE__, os.str());
+    return;
+  }
+  it->second = DescriptorState::fetched;
+}
+
+void PipelineValidator::on_descriptor_completed(std::uint64_t descriptor) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto it = descriptors_.find(descriptor);
+  if (it == descriptors_.end()) {
+    std::ostringstream os;
+    os << "descriptor " << descriptor
+       << " completed but not outstanding (double completion)";
+    violation(Violation::descriptor_lifetime, __LINE__, os.str());
+    return;
+  }
+  if (it->second != DescriptorState::fetched) {
+    std::ostringstream os;
+    os << "descriptor " << descriptor << " completed before the Descriptor "
+       << "Engine fetched it";
+    violation(Violation::descriptor_lifetime, __LINE__, os.str());
+    return;
+  }
+  descriptors_.erase(it);
+  ++descriptors_completed_;
+}
+
+// --- StageTrace audit -------------------------------------------------------
+
+void PipelineValidator::on_trace_complete(const StageTrace& trace) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  ++traces_audited_;
+  if (!trace.monotonic()) {
+    std::ostringstream os;
+    os << "stage timestamps out of pipeline order:";
+    for (std::size_t i = 0; i < kStageCount; ++i) {
+      const auto s = static_cast<Stage>(i);
+      if (trace.has(s)) os << ' ' << stage_name(s) << '=' << trace.at(s);
+    }
+    violation(Violation::trace_order, __LINE__, os.str());
+    return;
+  }
+  if (trace.has(Stage::complete) && !trace.has(Stage::submit)) {
+    violation(Violation::trace_order, __LINE__,
+              "trace completed without a submit hop");
+  }
+}
+
+// --- teardown ---------------------------------------------------------------
+
+std::uint64_t PipelineValidator::verify_quiescent() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  const std::uint64_t before = total_;
+  for (const auto& [id, r] : rings_) {
+    if (r.queued != r.issued || r.posted != r.reaped ||
+        r.issued != r.posted || !r.inflight.empty()) {
+      std::ostringstream os;
+      os << "ring " << id << " not quiescent: queued=" << r.queued
+         << " issued=" << r.issued << " posted=" << r.posted
+         << " reaped=" << r.reaped << " inflight=" << r.inflight.size();
+      violation(Violation::quiescence, __LINE__, os.str());
+    }
+  }
+  for (const auto& [q, t] : tags_) {
+    if (t.in_use != 0) {
+      std::ostringstream os;
+      os << "hw queue " << q << ": " << t.in_use << " tag(s) leaked";
+      violation(Violation::tag_leak, __LINE__, os.str());
+    }
+  }
+  if (!descriptors_.empty()) {
+    std::ostringstream os;
+    os << descriptors_.size() << " QDMA descriptor(s) never completed";
+    violation(Violation::descriptor_leak, __LINE__, os.str());
+  }
+  return total_ - before;
+}
+
+// --- introspection ----------------------------------------------------------
+
+std::uint64_t PipelineValidator::violations() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return total_;
+}
+
+std::uint64_t PipelineValidator::violations(Violation kind) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return counts_[static_cast<std::size_t>(kind)];
+}
+
+std::vector<std::string> PipelineValidator::violation_log() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return log_;
+}
+
+std::uint64_t PipelineValidator::ring_inflight(unsigned ring) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto it = rings_.find(ring);
+  if (it == rings_.end()) return 0;
+  std::uint64_t n = 0;
+  for (const auto& [ud, count] : it->second.inflight) n += count;
+  return n;
+}
+
+unsigned PipelineValidator::tags_in_use(unsigned hw_queue) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto it = tags_.find(hw_queue);
+  return it == tags_.end() ? 0 : it->second.in_use;
+}
+
+std::uint64_t PipelineValidator::descriptors_outstanding() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return descriptors_.size();
+}
+
+}  // namespace dk

@@ -9,11 +9,12 @@
 #pragma once
 
 #include <atomic>
-#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>
+
+#include "common/check.hpp"
 
 namespace dk {
 
@@ -56,7 +57,7 @@ class RingBuffer {
 
   /// Peek without consuming; undefined when empty.
   const T& front() const {
-    assert(!empty());
+    DK_DCHECK(!empty()) << "front() on empty ring";
     return slots_[head_ & mask_];
   }
 

@@ -5,11 +5,12 @@
 // paths and completion queues carry integer results exactly like CQE.res.
 #pragma once
 
-#include <cassert>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <variant>
+
+#include "common/check.hpp"
 
 namespace dk {
 
@@ -64,7 +65,7 @@ class Result {
  public:
   Result(T value) : v_(std::move(value)) {}                 // NOLINT(google-explicit-constructor)
   Result(Status status) : v_(std::move(status)) {           // NOLINT(google-explicit-constructor)
-    assert(!std::get<Status>(v_).ok() && "Result error must not be ok");
+    DK_CHECK(!std::get<Status>(v_).ok()) << "Result error must not be ok";
   }
   Result(Errc code, std::string msg = {})
       : v_(Status(code, std::move(msg))) {}
@@ -73,11 +74,11 @@ class Result {
   explicit operator bool() const { return ok(); }
 
   T& value() {
-    assert(ok());
+    DK_CHECK(ok());
     return std::get<T>(v_);
   }
   const T& value() const {
-    assert(ok());
+    DK_CHECK(ok());
     return std::get<T>(v_);
   }
   T& operator*() { return value(); }

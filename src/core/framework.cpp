@@ -1,6 +1,6 @@
 #include "core/framework.hpp"
 
-#include <cassert>
+#include "common/check.hpp"
 
 namespace dk::core {
 
@@ -16,7 +16,8 @@ class Framework::RingBackend final : public uring::Backend {
   void submit_io(const uring::Sqe& sqe,
                  std::function<void(std::int32_t)> complete) override {
     auto it = fw_.inflight_.find(sqe.user_data);
-    assert(it != fw_.inflight_.end());
+    DK_CHECK(it != fw_.inflight_.end())
+        << "SQE for unknown I/O token " << sqe.user_data;
     it->second.ring_complete = std::move(complete);
     fw_.start_io(sqe.user_data);
   }
@@ -95,7 +96,7 @@ Framework::Framework(sim::Simulator& sim, FrameworkConfig config)
   mqc.max_io_bytes = 512 * 1024;
 
   if (traits_.payload_over_qdma) {
-    assert(fpga_);
+    DK_CHECK(fpga_) << "payload-over-QDMA variant without an FPGA device";
     host::UifdConfig uc;
     uc.nr_hw_queues = stations;
     uc.queue_class = config_.pool_mode == PoolMode::erasure
@@ -113,6 +114,7 @@ Framework::Framework(sim::Simulator& sim, FrameworkConfig config)
   }
 
   wire_metrics();
+  wire_validator();
 }
 
 void Framework::wire_metrics() {
@@ -134,6 +136,15 @@ void Framework::wire_metrics() {
   if (fpga_) fpga_->qdma().attach_metrics(metrics_, "qdma");
   for (std::size_t i = 0; i < cluster_->osd_count(); ++i)
     cluster_->osd(static_cast<int>(i)).attach_metrics(metrics_, "osd");
+}
+
+void Framework::wire_validator() {
+  mq_->attach_validator(validator_);
+  if (urings_)
+    for (std::size_t i = 0; i < urings_->size(); ++i)
+      urings_->ring(i).attach_validator(validator_,
+                                        static_cast<unsigned>(i));
+  if (fpga_) fpga_->qdma().attach_validator(validator_);
 }
 
 Framework::~Framework() = default;
@@ -353,7 +364,7 @@ void Framework::mark_stage(std::uint64_t token, Stage stage) {
 
 void Framework::start_io(std::uint64_t token) {
   auto it = inflight_.find(token);
-  assert(it != inflight_.end());
+  DK_CHECK(it != inflight_.end()) << "start_io on unknown token " << token;
   IoCtx& ctx = it->second;
   // The SQE has been consumed (by the SQ-poll kthread or io_uring_enter)
   // and the request is being handed to the host submission path.
@@ -367,7 +378,8 @@ void Framework::start_io(std::uint64_t token) {
 
 void Framework::enter_block_layer(std::uint64_t token) {
   auto it = inflight_.find(token);
-  assert(it != inflight_.end());
+  DK_CHECK(it != inflight_.end())
+      << "block-layer entry on unknown token " << token;
   IoCtx& ctx = it->second;
   ctx.trace.mark(Stage::blk_enter, sim_.now());
 
@@ -434,11 +446,12 @@ void Framework::run_remote(const blk::Request& request,
 
 void Framework::finish_io(std::uint64_t token, std::int32_t res) {
   auto it = inflight_.find(token);
-  assert(it != inflight_.end());
+  DK_CHECK(it != inflight_.end()) << "finish_io on unknown token " << token;
   IoCtx ctx = std::move(it->second);
   inflight_.erase(it);
 
   ctx.trace.mark(Stage::complete, sim_.now());
+  validator_.on_trace_complete(ctx.trace);
   trace_collector_.collect(ctx.trace);
   last_trace_ = ctx.trace;
   m_completions_->inc();

@@ -20,6 +20,7 @@
 
 #include "blk/mq.hpp"
 #include "common/metrics.hpp"
+#include "common/pipeline_validator.hpp"
 #include "common/trace.hpp"
 #include "core/calibration.hpp"
 #include "core/variant.hpp"
@@ -94,6 +95,14 @@ class Framework {
   /// Stage trace of the most recently completed I/O (diagnostics/tests).
   const StageTrace& last_trace() const { return last_trace_; }
 
+  /// Per-instance pipeline invariant checker, wired to every layer of this
+  /// stack next to attach_metrics(): SQ/CQ accounting, blk-mq tag
+  /// lifecycle, QDMA descriptor lifecycle, and StageTrace hop ordering.
+  /// Violations count under "check.violations.*" in metrics(); call
+  /// validator().verify_quiescent() after draining for leak checks.
+  PipelineValidator& validator() { return validator_; }
+  const PipelineValidator& validator() const { return validator_; }
+
   sim::Simulator& simulator() { return sim_; }
   rados::Cluster& cluster() { return *cluster_; }
   rados::RadosClient& rados_client() { return *client_; }
@@ -140,6 +149,7 @@ class Framework {
   void enter_block_layer(std::uint64_t token);
   void mark_stage(std::uint64_t token, Stage stage);
   void wire_metrics();
+  void wire_validator();
   void run_remote(const blk::Request& request,
                   std::function<void(std::int32_t)> done);
   void finish_io(std::uint64_t token, std::int32_t res);
@@ -154,6 +164,7 @@ class Framework {
   // Observability: registry first so members initialized later may attach.
   MetricsRegistry metrics_;
   TraceCollector trace_collector_{metrics_};
+  PipelineValidator validator_{&metrics_};
   StageTrace last_trace_;
   Counter* m_writes_ = nullptr;
   Counter* m_reads_ = nullptr;

@@ -1,10 +1,10 @@
 #include "crush/bucket.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numeric>
 
+#include "common/check.hpp"
 #include "crush/hash.hpp"
 #include "crush/ln.hpp"
 
@@ -23,7 +23,7 @@ std::string_view bucket_alg_name(BucketAlg alg) {
 
 Bucket::Bucket(ItemId id, std::uint16_t type, BucketAlg alg)
     : id_(id), type_(type), alg_(alg) {
-  assert(id < 0 && "bucket ids are negative, device ids non-negative");
+  DK_CHECK(id < 0) << "bucket ids are negative, device ids non-negative";
 }
 
 Status Bucket::add_item(ItemId item, Weight weight) {

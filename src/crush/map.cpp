@@ -1,8 +1,8 @@
 #include "crush/map.hpp"
 
 #include <algorithm>
-#include <cassert>
 
+#include "common/check.hpp"
 #include "crush/hash.hpp"
 
 namespace dk::crush {
@@ -71,10 +71,10 @@ Status CrushMap::reweight(ItemId parent, ItemId child, Weight new_weight) {
     auto pit = parent_.find(node);
     if (pit == parent_.end()) break;
     Bucket* anc = bucket(pit->second);
-    assert(anc);
+    DK_CHECK(anc);
     const auto& anc_items = anc->items();
     auto ait = std::find(anc_items.begin(), anc_items.end(), node);
-    assert(ait != anc_items.end());
+    DK_CHECK(ait != anc_items.end());
     const Weight w =
         anc->item_weight(static_cast<std::size_t>(ait - anc_items.begin()));
     const Weight neww = w - old + new_weight;

@@ -1,15 +1,15 @@
 #include "ec/reed_solomon.hpp"
 
 #include <algorithm>
-#include <cassert>
 
+#include "common/check.hpp"
 #include "gf/gf256.hpp"
 
 namespace dk::ec {
 
 ReedSolomon::ReedSolomon(Profile profile) : profile_(profile) {
-  assert(profile_.k >= 1 && profile_.m >= 1);
-  assert(profile_.k + profile_.m <= gf::kFieldSize);
+  DK_CHECK(profile_.k >= 1 && profile_.m >= 1);
+  DK_CHECK(profile_.k + profile_.m <= gf::kFieldSize);
   generator_ = profile_.generator == GeneratorKind::cauchy
                    ? gf::Matrix::cauchy(profile_.k, profile_.m)
                    : gf::Matrix::systematic_vandermonde(profile_.k, profile_.m);

@@ -1,6 +1,7 @@
 #include "fpga/accel.hpp"
 
-#include <cassert>
+#include "common/check.hpp"
+
 
 namespace dk::fpga {
 
@@ -41,7 +42,7 @@ constexpr KernelSpec kSpecs[] = {
 const KernelSpec& kernel_spec(KernelKind kind) {
   for (const auto& spec : kSpecs)
     if (spec.kind == kind) return spec;
-  assert(false && "unknown kernel kind");
+  DK_CHECK(false) << "unknown kernel kind";
   return kSpecs[0];
 }
 

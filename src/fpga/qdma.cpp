@@ -1,6 +1,7 @@
 #include "fpga/qdma.hpp"
 
-#include <cassert>
+#include "common/check.hpp"
+#include "common/pipeline_validator.hpp"
 
 namespace dk::fpga {
 
@@ -65,6 +66,10 @@ void QdmaEngine::attach_metrics(MetricsRegistry& registry,
   metrics_.c2h_latency = &registry.histogram(prefix + ".c2h_latency");
 }
 
+void QdmaEngine::attach_validator(PipelineValidator& validator) {
+  validator_ = &validator;
+}
+
 Status QdmaEngine::dma(unsigned id, std::uint64_t bytes, bool h2c_dir,
                        sim::EventFn done) {
   QueueSet* qs = queue_set(id);
@@ -86,7 +91,11 @@ Status QdmaEngine::dma(unsigned id, std::uint64_t bytes, bool h2c_dir,
     return posted;
   }
   ++outstanding_descriptors_;
+  DK_CHECK(outstanding_descriptors_ <= kMaxOutstandingDescriptors)
+      << "descriptor UltraRAM overcommitted: " << outstanding_descriptors_;
   if (metrics_.outstanding) metrics_.outstanding->add();
+  const std::uint64_t seq = ++descriptor_seq_;
+  if (validator_) validator_->on_descriptor_posted(seq);
 
   if (h2c_dir) {
     ++stats_.h2c_ops;
@@ -108,21 +117,26 @@ Status QdmaEngine::dma(unsigned id, std::uint64_t bytes, bool h2c_dir,
   // Doorbell + descriptor fetch (RQ + DE), then PCIe serialization of the
   // descriptor + payload, then the H2C/C2H engine slot, then CE writeback.
   sim_.schedule_after(config_.doorbell_latency, [this, id, bytes, h2c_dir,
-                                                 dma_start,
+                                                 dma_start, seq,
                                                  done = std::move(done)]() mutable {
     ++stats_.descriptors_fetched;
+    if (validator_) validator_->on_descriptor_fetched(seq);
     pcie_.transfer(bytes + kDescriptorBytes, [this, id, h2c_dir, dma_start,
+                                              seq,
                                               done = std::move(done)]() mutable {
       auto& engine = h2c_dir ? h2c_engine_ : c2h_engine_;
       engine.submit(config_.completion_latency, [this, id, h2c_dir, dma_start,
-                                                 done = std::move(done)] {
+                                                 seq, done = std::move(done)] {
         QueueSet* qs = queue_set(id);
         if (qs) {
           // Consume the descriptor and post the completion entry.
           auto desc = h2c_dir ? qs->fetch_h2c() : qs->fetch_c2h();
           if (desc) qs->push_completion(*desc);
         }
+        DK_CHECK(outstanding_descriptors_ > 0)
+            << "CE writeback with no descriptors outstanding";
         if (outstanding_descriptors_ > 0) --outstanding_descriptors_;
+        if (validator_) validator_->on_descriptor_completed(seq);
         if (metrics_.outstanding) {
           metrics_.outstanding->sub();
           (h2c_dir ? metrics_.h2c_latency : metrics_.c2h_latency)

@@ -29,6 +29,10 @@
 #include "sim/resources.hpp"
 #include "sim/simulator.hpp"
 
+namespace dk {
+class PipelineValidator;
+}  // namespace dk
+
 namespace dk::fpga {
 
 enum class QueueClass : std::uint8_t { replication, erasure_coding };
@@ -141,6 +145,10 @@ class QdmaEngine {
   /// doorbell-to-completion latency histograms).
   void attach_metrics(MetricsRegistry& registry, const std::string& prefix);
 
+  /// Report descriptor lifecycle (posted -> fetched -> completed, by engine
+  /// sequence number) to `validator`. Same pattern as attach_metrics().
+  void attach_validator(PipelineValidator& validator);
+
  private:
   Status dma(unsigned id, std::uint64_t bytes, bool h2c_dir,
              sim::EventFn done);
@@ -154,6 +162,8 @@ class QdmaEngine {
   sim::FifoServer h2c_engine_;
   sim::FifoServer c2h_engine_;
   unsigned outstanding_descriptors_ = 0;
+  std::uint64_t descriptor_seq_ = 0;  // identity for lifetime validation
+  PipelineValidator* validator_ = nullptr;
 
   struct MetricHandles {
     Counter* h2c_ops = nullptr;

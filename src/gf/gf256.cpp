@@ -1,6 +1,7 @@
 #include "gf/gf256.hpp"
 
-#include <cassert>
+#include "common/check.hpp"
+
 
 namespace dk::gf {
 
@@ -29,7 +30,7 @@ const MulTable& mul_table() {
 
 void mul_add_region(std::uint8_t c, std::span<const std::uint8_t> src,
                     std::span<std::uint8_t> dst) {
-  assert(src.size() == dst.size());
+  DK_CHECK(src.size() == dst.size());
   if (c == 0) return;
   if (c == 1) {
     xor_region(src, dst);
@@ -41,7 +42,7 @@ void mul_add_region(std::uint8_t c, std::span<const std::uint8_t> src,
 
 void mul_region(std::uint8_t c, std::span<const std::uint8_t> src,
                 std::span<std::uint8_t> dst) {
-  assert(src.size() == dst.size());
+  DK_CHECK(src.size() == dst.size());
   if (c == 0) {
     for (auto& b : dst) b = 0;
     return;
@@ -56,7 +57,7 @@ void mul_region(std::uint8_t c, std::span<const std::uint8_t> src,
 
 void xor_region(std::span<const std::uint8_t> src,
                 std::span<std::uint8_t> dst) {
-  assert(src.size() == dst.size());
+  DK_CHECK(src.size() == dst.size());
   std::size_t i = 0;
   // Word-at-a-time XOR for the bulk of the region.
   for (; i + 8 <= src.size(); i += 8) {

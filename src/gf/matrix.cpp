@@ -1,7 +1,7 @@
 #include "gf/matrix.hpp"
 
-#include <cassert>
 
+#include "common/check.hpp"
 #include "gf/gf256.hpp"
 
 namespace dk::gf {
@@ -13,7 +13,7 @@ Matrix Matrix::identity(std::size_t n) {
 }
 
 Matrix Matrix::systematic_vandermonde(std::size_t k, std::size_t m) {
-  assert(k + m <= kFieldSize);
+  DK_CHECK(k + m <= kFieldSize);
   // Build the (k+m) x k Vandermonde matrix V[i][j] = i^j (row 0 -> e_0).
   Matrix v(k + m, k);
   for (std::size_t i = 0; i < k + m; ++i)
@@ -34,7 +34,7 @@ Matrix Matrix::systematic_vandermonde(std::size_t k, std::size_t m) {
         }
       }
     }
-    assert(v.at(c, c) != 0 && "Vandermonde pivot must be nonzero");
+    DK_CHECK(v.at(c, c) != 0) << "Vandermonde pivot must be nonzero";
     // Scale column c so pivot becomes 1.
     const std::uint8_t piv_inv = inv(v.at(c, c));
     for (std::size_t r = 0; r < k + m; ++r)
@@ -52,7 +52,7 @@ Matrix Matrix::systematic_vandermonde(std::size_t k, std::size_t m) {
 }
 
 Matrix Matrix::cauchy(std::size_t k, std::size_t m) {
-  assert(k + m <= kFieldSize);
+  DK_CHECK(k + m <= kFieldSize);
   // x_i = i (i in [0,m)), y_j = m + j (j in [0,k)): disjoint by construction.
   Matrix g(k + m, k);
   for (std::size_t i = 0; i < k; ++i) g.at(i, i) = 1;  // systematic top block
@@ -64,7 +64,7 @@ Matrix Matrix::cauchy(std::size_t k, std::size_t m) {
 }
 
 Matrix Matrix::multiply(const Matrix& rhs) const {
-  assert(cols_ == rhs.rows_);
+  DK_CHECK(cols_ == rhs.rows_);
   Matrix out(rows_, rhs.cols_);
   for (std::size_t i = 0; i < rows_; ++i)
     for (std::size_t j = 0; j < cols_; ++j) {
@@ -118,7 +118,7 @@ Result<Matrix> Matrix::inverted() const {
 Matrix Matrix::select_rows(const std::vector<std::size_t>& indices) const {
   Matrix out(indices.size(), cols_);
   for (std::size_t i = 0; i < indices.size(); ++i) {
-    assert(indices[i] < rows_);
+    DK_CHECK(indices[i] < rows_);
     for (std::size_t c = 0; c < cols_; ++c)
       out.at(i, c) = at(indices[i], c);
   }

@@ -1,21 +1,22 @@
 #include "host/io_apis.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cstring>
+
+#include "common/check.hpp"
 
 namespace dk::host {
 
 Nanos MemoryBackingDevice::read_block(std::uint64_t offset,
                                       std::span<std::uint8_t> out) {
-  assert(offset + out.size() <= data_.size());
+  DK_CHECK(offset + out.size() <= data_.size());
   std::memcpy(out.data(), data_.data() + offset, out.size());
   return access_cost_;
 }
 
 Nanos MemoryBackingDevice::write_block(std::uint64_t offset,
                                        std::span<const std::uint8_t> data) {
-  assert(offset + data.size() <= data_.size());
+  DK_CHECK(offset + data.size() <= data_.size());
   std::memcpy(data_.data() + offset, data.data(), data.size());
   return access_cost_;
 }
@@ -45,7 +46,7 @@ Nanos IoApis::evict_if_needed() {
     const std::uint64_t victim = lru_.back();
     lru_.pop_back();
     auto it = pages_.find(victim);
-    assert(it != pages_.end());
+    DK_CHECK(it != pages_.end());
     if (it->second.dirty) {
       cost += device_.write_block(victim * kPageBytes, it->second.bytes);
       ++stats_.writebacks;
@@ -70,7 +71,7 @@ IoApis::Page& IoApis::fault_in(std::uint64_t page_index, Nanos& cost) {
   lru_.push_front(page_index);
   page.lru_pos = lru_.begin();
   auto [pos, inserted] = pages_.emplace(page_index, std::move(page));
-  assert(inserted);
+  DK_CHECK(inserted);
   cost += evict_if_needed();
   return pos->second;
 }

@@ -1,13 +1,14 @@
 #include "host/rbd.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.hpp"
 
 namespace dk::host {
 
 RbdDevice::RbdDevice(rados::RadosClient& client, RbdImageSpec spec)
     : client_(client), spec_(spec) {
-  assert(spec_.object_size > 0);
+  DK_CHECK(spec_.object_size > 0);
 }
 
 void RbdDevice::attach_metrics(MetricsRegistry& registry,
@@ -43,7 +44,7 @@ void RbdDevice::aio_write(std::uint64_t offset, std::vector<std::uint8_t> data,
   ++stats_.writes;
   stats_.bytes_written += data.size();
   auto exts = extents(offset, data.size());
-  assert(!exts.empty());
+  DK_CHECK(!exts.empty());
   stats_.object_ops += exts.size();
   if (metrics_.writes) {
     metrics_.writes->inc();
@@ -94,7 +95,7 @@ void RbdDevice::aio_read(
   ++stats_.reads;
   stats_.bytes_read += length;
   auto exts = extents(offset, length);
-  assert(!exts.empty());
+  DK_CHECK(!exts.empty());
   stats_.object_ops += exts.size();
   if (metrics_.reads) {
     metrics_.reads->inc();

@@ -1,18 +1,19 @@
 #include "host/uifd.hpp"
 
-#include <cassert>
 #include <memory>
+
+#include "common/check.hpp"
 
 namespace dk::host {
 
 UifdDriver::UifdDriver(fpga::FpgaDevice& device, UifdConfig config,
                        RemoteIoFn remote)
     : device_(device), config_(config), remote_(std::move(remote)) {
-  assert(config_.nr_hw_queues >= 1);
+  DK_CHECK(config_.nr_hw_queues >= 1);
   for (unsigned q = 0; q < config_.nr_hw_queues; ++q) {
     auto id = device_.qdma().alloc_queue_set(config_.queue_class,
                                              config_.virtual_function);
-    assert(id.ok() && "QDMA queue sets exhausted");
+    DK_CHECK(id.ok()) << "QDMA queue sets exhausted";
     queue_sets_.push_back(*id);
   }
 }

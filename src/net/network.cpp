@@ -1,7 +1,8 @@
 #include "net/network.hpp"
 
-#include <cassert>
 #include <utility>
+
+#include "common/check.hpp"
 
 namespace dk::net {
 
@@ -31,7 +32,7 @@ NodeId Network::add_node(std::string name, DeliveryFn on_delivery) {
 }
 
 void Network::send(Message msg) {
-  assert(msg.src < nodes_.size() && msg.dst < nodes_.size());
+  DK_CHECK(msg.src < nodes_.size() && msg.dst < nodes_.size());
   payload_sent_ += msg.payload_bytes;
 
   Node& dst = *nodes_[msg.dst];
@@ -60,7 +61,7 @@ void Network::send(Message msg) {
 }
 
 double Network::node_rx_mbps(NodeId id, Nanos elapsed) const {
-  assert(id < nodes_.size());
+  DK_CHECK(id < nodes_.size());
   return mb_per_sec(nodes_[id]->rx_payload, elapsed);
 }
 

@@ -1,6 +1,7 @@
 #include "rados/client.hpp"
 
-#include <cassert>
+#include "common/check.hpp"
+
 
 namespace dk::rados {
 
@@ -140,7 +141,7 @@ void RadosClient::write_ec(int pool, std::uint64_t oid, std::uint64_t offset,
   if (metrics_.ec_bytes_encoded) metrics_.ec_bytes_encoded->inc(data.size());
   auto chunks = rs.split(data);
   auto coding = rs.encode(chunks);
-  assert(coding.ok());
+  DK_CHECK(coding.ok());
   for (auto& c : *coding) chunks.push_back(std::move(c));
 
   pend.awaiting = static_cast<unsigned>(chunks.size());
@@ -273,7 +274,7 @@ void RadosClient::on_reply(std::shared_ptr<OpBody> body) {
 
   if (body->type == OpType::shard_data) {
     const auto shard = static_cast<std::size_t>(body->key.shard);
-    assert(shard < pend.chunks.size());
+    DK_CHECK(shard < pend.chunks.size());
     pend.chunks[shard] = std::move(body->data);
   }
   if (--pend.awaiting != 0) return;

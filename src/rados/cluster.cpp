@@ -1,7 +1,7 @@
 #include "rados/cluster.hpp"
 
-#include <cassert>
 
+#include "common/check.hpp"
 #include "crush/hash.hpp"
 
 namespace dk::rados {
@@ -13,7 +13,7 @@ Cluster::Cluster(sim::Simulator& sim, ClusterConfig config)
       layout_(crush::build_cluster(config.crush)) {
   // Client node 0.
   client_node_ = net_.add_node("client", [this](const net::Message& m) {
-    assert(client_handler_ && "client handler not registered");
+    DK_CHECK(client_handler_) << "client handler not registered";
     client_handler_(std::static_pointer_cast<OpBody>(m.body));
   });
 
@@ -22,8 +22,9 @@ Cluster::Cluster(sim::Simulator& sim, ClusterConfig config)
     server_nodes_.push_back(net_.add_node(
         "server" + std::to_string(h), [this](const net::Message& m) {
           auto body = std::static_pointer_cast<OpBody>(m.body);
-          assert(body->target_osd >= 0 &&
-                 static_cast<std::size_t>(body->target_osd) < osds_.size());
+          DK_CHECK(body->target_osd >= 0 &&
+                   static_cast<std::size_t>(body->target_osd) < osds_.size())
+              << "message for OSD " << body->target_osd << " out of range";
           osds_[static_cast<std::size_t>(body->target_osd)]->handle(body);
         }));
   }

@@ -1,7 +1,8 @@
 #include "rados/osd.hpp"
 
-#include <cassert>
 #include <utility>
+
+#include "common/check.hpp"
 
 namespace dk::rados {
 
@@ -45,7 +46,7 @@ Nanos Osd::service_time(std::uint64_t bytes, bool is_write,
 }
 
 void Osd::handle(std::shared_ptr<OpBody> body) {
-  assert(send_ && "messenger not wired");
+  DK_CHECK(send_) << "messenger not wired";
   ++ops_served_;
   if (metrics_.ops) metrics_.ops->inc();
   switch (body->type) {
@@ -72,7 +73,7 @@ void Osd::handle(std::shared_ptr<OpBody> body) {
     }
     case OpType::shard_ack: do_repl_ack(std::move(body)); break;
     default:
-      assert(false && "reply types are client-bound");
+      DK_CHECK(false) << "reply types are client-bound";
   }
 }
 
@@ -178,7 +179,7 @@ void Osd::do_ec_primary_write(std::shared_ptr<OpBody> body) {
   // in CPU time, stores its own shard, and fans the rest out. `replicas`
   // holds the full acting set in shard order (entry 0 == this OSD).
   const unsigned k = body->ec_k, m = body->ec_m;
-  assert(k >= 1 && m >= 1 && body->replicas.size() == k + m);
+  DK_CHECK(k >= 1 && m >= 1 && body->replicas.size() == k + m);
   const auto& rs = codec(k, m);
   const Nanos encode_cost =
       transfer_time(rs.encode_ops(body->data.size()), config_.ec_encode_bps);
@@ -192,7 +193,7 @@ void Osd::do_ec_primary_write(std::shared_ptr<OpBody> body) {
     const auto& rs = codec(k, m);
     auto data_chunks = rs.split(body->data);
     auto coding = rs.encode(data_chunks);
-    assert(coding.ok());
+    DK_CHECK(coding.ok());
     std::vector<ec::Chunk> shards = std::move(data_chunks);
     for (auto& c : *coding) shards.push_back(std::move(c));
 
@@ -233,7 +234,7 @@ void Osd::do_ec_primary_read(std::shared_ptr<OpBody> body) {
   // Software-Ceph EC read path: the primary reads its own shard, gathers
   // the other k-1 data shards, reassembles, and replies to the client.
   const unsigned k = body->ec_k, m = body->ec_m;
-  assert(k >= 1 && body->replicas.size() == k + m);
+  DK_CHECK(k >= 1 && body->replicas.size() == k + m);
   const std::uint64_t chunk_len = (body->length + k - 1) / k;
   const std::uint64_t shard_off = body->offset / k;
   ObjectKey own_key = body->key;
@@ -283,7 +284,7 @@ void Osd::do_shard_data(std::shared_ptr<OpBody> body) {
   if (it == pending_reads_.end()) return;  // stale
   PendingRead& pr = it->second;
   const auto shard = static_cast<std::size_t>(body->key.shard);
-  assert(shard < pr.chunks.size());
+  DK_CHECK(shard < pr.chunks.size());
   pr.chunks[shard] = std::move(body->data);
   if (--pr.awaiting != 0) return;
   // All k data shards present: concatenate (no decode needed on the

@@ -15,8 +15,8 @@
 
 #include "common/metrics.hpp"
 #include "common/rng.hpp"
-#include "ec/reed_solomon.hpp"
 #include "common/units.hpp"
+#include "ec/reed_solomon.hpp"
 #include "net/network.hpp"
 #include "rados/messages.hpp"
 #include "rados/object_store.hpp"

@@ -159,25 +159,29 @@ void RecoveryManager::execute(const RecoveryPlan& plan, unsigned max_parallel,
     std::size_t next = 0;
     std::size_t completed = 0;
     std::function<void()> done;
+    std::function<void()> pump;
   };
   auto state = std::make_shared<State>();
   state->plan = &plan;
   state->pool = plan.pool;
   state->done = std::move(done);
 
-  // Bounded-parallel pump: each finished copy starts the next.
-  auto pump = std::make_shared<std::function<void()>>();
-  *pump = [this, state, pump] {
-    if (state->next >= state->plan->moves.size()) return;
+  // Bounded-parallel pump: each finished copy starts the next. The pump
+  // lives inside the State it drives, so it holds only a weak
+  // self-reference — owning it would form a shared_ptr cycle and leak the
+  // whole chain. Pending on_done callbacks keep the State alive.
+  state->pump = [this, weak = std::weak_ptr<State>(state)] {
+    auto state = weak.lock();
+    if (!state || state->next >= state->plan->moves.size()) return;
     const RecoveryMove move = state->plan->moves[state->next++];
-    auto on_done = [this, state, pump, move] {
+    auto on_done = [this, state, move] {
       ++recovered_;
       bytes_ += move.bytes;
       if (++state->completed == state->plan->moves.size()) {
         state->done();
         return;
       }
-      (*pump)();
+      state->pump();
     };
     if (move.reconstruct) {
       cluster_.reconstruct_shard(move.sources, move.to_osd, move.key,
@@ -191,7 +195,7 @@ void RecoveryManager::execute(const RecoveryPlan& plan, unsigned max_parallel,
   const std::size_t starters =
       std::min<std::size_t>(max_parallel ? max_parallel : 1,
                             plan.moves.size());
-  for (std::size_t i = 0; i < starters; ++i) (*pump)();
+  for (std::size_t i = 0; i < starters; ++i) state->pump();
 }
 
 ScrubReport RecoveryManager::scrub(int pool) const {

@@ -1,6 +1,12 @@
 #include "uring/io_uring.hpp"
 
+#include "common/pipeline_validator.hpp"
+
 namespace dk::uring {
+
+namespace {
+constexpr auto kRelaxed = std::memory_order_relaxed;
+}  // namespace
 
 IoUring::IoUring(UringParams params, Backend& backend)
     : params_(params),
@@ -18,12 +24,19 @@ void IoUring::attach_metrics(MetricsRegistry& registry,
   metrics_.outstanding = &registry.gauge(prefix + ".outstanding");
 }
 
+void IoUring::attach_validator(PipelineValidator& validator,
+                               unsigned ring_id) {
+  validator_ = &validator;
+  ring_id_ = ring_id;
+}
+
 Status IoUring::prep(const Sqe& sqe) {
   if (!sq_.try_push(sqe)) {
-    ++stats_.sq_full_rejects;
+    stats_.sq_full_rejects.fetch_add(1, kRelaxed);
     if (metrics_.sq_full) metrics_.sq_full->inc();
     return Status::Error(Errc::again, "SQ full");
   }
+  if (validator_) validator_->on_sqe_queued(ring_id_);
   return Status::Ok();
 }
 
@@ -86,19 +99,28 @@ bool IoUring::resolve(Sqe& sqe) {
   return true;
 }
 
+void IoUring::post_cqe(const Cqe& cqe) {
+  // CQ overflow mirrors the kernel: the CQ is sized 2x SQ so an app that
+  // bounds inflight <= sq_entries cannot overflow. A drop is therefore an
+  // accounting bug, which the validator records.
+  if (cq_.try_push(cqe)) {
+    if (validator_) validator_->on_cqe_posted(ring_id_, cqe.user_data);
+  } else if (validator_) {
+    validator_->on_cqe_dropped(ring_id_, cqe.user_data);
+  }
+}
+
 void IoUring::issue(const Sqe& sqe) {
   Sqe resolved = sqe;
   if (!resolve(resolved)) {
-    cq_.try_push(Cqe{sqe.user_data,
-                     -static_cast<std::int32_t>(Errc::invalid_argument),
-                     sqe.flags});
+    post_cqe(Cqe{sqe.user_data,
+                 -static_cast<std::int32_t>(Errc::invalid_argument),
+                 sqe.flags});
     return;
   }
   backend_.submit_io(resolved, [this, ud = sqe.user_data,
                                 flags = sqe.flags](std::int32_t res) {
-    // CQ overflow mirrors the kernel: the CQ is sized 2x SQ so an app that
-    // bounds inflight <= sq_entries cannot overflow.
-    cq_.try_push(Cqe{ud, res, flags});
+    post_cqe(Cqe{ud, res, flags});
   });
 }
 
@@ -111,18 +133,18 @@ void IoUring::issue_chain(std::shared_ptr<std::vector<Sqe>> chain,
   const std::uint64_t ud = resolved.user_data;
   const std::uint8_t flags = resolved.flags;
   if (!resolve(resolved)) {
-    cq_.try_push(
+    post_cqe(
         Cqe{ud, -static_cast<std::int32_t>(Errc::invalid_argument), flags});
     for (std::size_t i = at + 1; i < chain->size(); ++i)
-      cq_.try_push(Cqe{(*chain)[i].user_data, kResCanceled, (*chain)[i].flags});
+      post_cqe(Cqe{(*chain)[i].user_data, kResCanceled, (*chain)[i].flags});
     return;
   }
   backend_.submit_io(
       resolved, [this, chain = std::move(chain), at, ud, flags](std::int32_t res) {
-        cq_.try_push(Cqe{ud, res, flags});
+        post_cqe(Cqe{ud, res, flags});
         if (res < 0) {
           for (std::size_t i = at + 1; i < chain->size(); ++i)
-            cq_.try_push(
+            post_cqe(
                 Cqe{(*chain)[i].user_data, kResCanceled, (*chain)[i].flags});
           return;
         }
@@ -131,12 +153,12 @@ void IoUring::issue_chain(std::shared_ptr<std::vector<Sqe>> chain,
 }
 
 unsigned IoUring::drain_sq() {
-  const std::uint64_t before = stats_.sqes_submitted;
   unsigned n = 0;
   Sqe sqe;
   while (sq_.try_pop(sqe)) {
     ++n;
-    ++stats_.sqes_submitted;
+    stats_.sqes_submitted.fetch_add(1, kRelaxed);
+    if (validator_) validator_->on_sqe_issued(ring_id_, sqe.user_data);
     if (sqe.flags & kSqeLink) {
       // Collect the full chain: every linked SQE plus the terminator.
       auto chain = std::make_shared<std::vector<Sqe>>();
@@ -149,7 +171,8 @@ unsigned IoUring::drain_sq() {
           break;
         }
         ++n;
-        ++stats_.sqes_submitted;
+        stats_.sqes_submitted.fetch_add(1, kRelaxed);
+        if (validator_) validator_->on_sqe_issued(ring_id_, next.user_data);
         chain->push_back(next);
       }
       issue_chain(std::move(chain), 0);
@@ -157,17 +180,16 @@ unsigned IoUring::drain_sq() {
     }
     issue(sqe);
   }
-  const std::uint64_t moved = stats_.sqes_submitted - before;
-  if (moved && metrics_.sqes) {
-    metrics_.sqes->inc(moved);
-    metrics_.outstanding->add(static_cast<std::int64_t>(moved));
+  if (n && metrics_.sqes) {
+    metrics_.sqes->inc(n);
+    metrics_.outstanding->add(n);
   }
   return n;
 }
 
 unsigned IoUring::enter() {
   if (params_.mode == RingMode::kernel_polled) return 0;
-  ++stats_.enter_calls;
+  stats_.enter_calls.fetch_add(1, kRelaxed);
   if (metrics_.enters) metrics_.enters->inc();
   return drain_sq();
 }
@@ -176,7 +198,7 @@ unsigned IoUring::kernel_poll() {
   if (params_.mode != RingMode::kernel_polled) return 0;
   const unsigned n = drain_sq();
   if (n) {
-    ++stats_.sq_poll_wakeups;
+    stats_.sq_poll_wakeups.fetch_add(1, kRelaxed);
     if (metrics_.poll_wakeups) metrics_.poll_wakeups->inc();
   }
   return n;
@@ -185,10 +207,13 @@ unsigned IoUring::kernel_poll() {
 unsigned IoUring::peek_cqes(std::span<Cqe> out) {
   const unsigned n =
       static_cast<unsigned>(cq_.try_pop_batch(out.data(), out.size()));
-  stats_.cqes_reaped += n;
-  if (n && metrics_.cqes) {
-    metrics_.cqes->inc(n);
-    metrics_.outstanding->sub(n);
+  if (n) {
+    stats_.cqes_reaped.fetch_add(n, kRelaxed);
+    if (metrics_.cqes) {
+      metrics_.cqes->inc(n);
+      metrics_.outstanding->sub(n);
+    }
+    if (validator_) validator_->on_cqes_reaped(ring_id_, n);
   }
   return n;
 }

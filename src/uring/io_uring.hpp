@@ -28,6 +28,10 @@
 #include "common/status.hpp"
 #include "uring/sqe.hpp"
 
+namespace dk {
+class PipelineValidator;
+}  // namespace dk
+
 namespace dk::uring {
 
 /// The "kernel" side: consumes SQEs, performs I/O, posts completions via
@@ -50,6 +54,9 @@ struct UringParams {
   int bound_cpu = -1;         // CPU this instance's SQ handling is pinned to
 };
 
+/// Snapshot of ring accounting. The live counters are atomics inside
+/// IoUring (the SQ-poll thread and the application update them from
+/// different threads); stats() copies them into this plain struct.
 struct UringStats {
   std::uint64_t sqes_submitted = 0;
   std::uint64_t cqes_reaped = 0;
@@ -72,12 +79,23 @@ class IoUring {
   IoUring& operator=(const IoUring&) = delete;
 
   const UringParams& params() const { return params_; }
-  const UringStats& stats() const { return stats_; }
+  UringStats stats() const {
+    UringStats s;
+    s.sqes_submitted = stats_.sqes_submitted.load(std::memory_order_relaxed);
+    s.cqes_reaped = stats_.cqes_reaped.load(std::memory_order_relaxed);
+    s.enter_calls = stats_.enter_calls.load(std::memory_order_relaxed);
+    s.sq_poll_wakeups =
+        stats_.sq_poll_wakeups.load(std::memory_order_relaxed);
+    s.sq_full_rejects =
+        stats_.sq_full_rejects.load(std::memory_order_relaxed);
+    return s;
+  }
   unsigned sq_capacity() const { return static_cast<unsigned>(sq_.capacity()); }
   std::size_t sq_pending() const { return sq_.size(); }
   std::size_t cq_ready() const { return cq_.size(); }
   std::uint64_t inflight() const {
-    return stats_.sqes_submitted - stats_.cqes_reaped - cq_.size();
+    return stats_.sqes_submitted.load(std::memory_order_relaxed) -
+           stats_.cqes_reaped.load(std::memory_order_relaxed) - cq_.size();
   }
 
   /// Queue an SQE (application side). Fails with `again` when the SQ is
@@ -129,19 +147,36 @@ class IoUring {
   /// are resolved once here; hot-path updates are lock-free.
   void attach_metrics(MetricsRegistry& registry, const std::string& prefix);
 
+  /// Report ring lifecycle events (SQE queued/issued, CQE posted/reaped,
+  /// CQ overflow) to `validator` as ring `ring_id`. Same pattern as
+  /// attach_metrics(): a null-checked pointer on the hot path.
+  void attach_validator(PipelineValidator& validator, unsigned ring_id);
+
  private:
   unsigned drain_sq();
+  // Post a CQE, reporting posts and overflow drops to the validator.
+  void post_cqe(const Cqe& cqe);
   // Resolve fixed buffers/files into a plain SQE; nullopt -> invalid, and a
   // CQE with -invalid_argument is posted directly.
   bool resolve(Sqe& sqe);
   void issue(const Sqe& sqe);
   void issue_chain(std::shared_ptr<std::vector<Sqe>> chain, std::size_t at);
 
+  // Live counters behind the UringStats snapshot; each may be written by
+  // the SQ-poll thread while the application thread reads or writes others.
+  struct AtomicStats {
+    std::atomic<std::uint64_t> sqes_submitted{0};
+    std::atomic<std::uint64_t> cqes_reaped{0};
+    std::atomic<std::uint64_t> enter_calls{0};
+    std::atomic<std::uint64_t> sq_poll_wakeups{0};
+    std::atomic<std::uint64_t> sq_full_rejects{0};
+  };
+
   UringParams params_;
   Backend& backend_;
   SpscRing<Sqe> sq_;
   SpscRing<Cqe> cq_;
-  UringStats stats_;
+  AtomicStats stats_;
   std::vector<std::pair<std::uint64_t, std::uint32_t>> buffers_;
   std::vector<std::int32_t> files_;
 
@@ -155,6 +190,9 @@ class IoUring {
     Gauge* outstanding = nullptr;  // submitted - reaped (in flight + CQ)
   };
   MetricHandles metrics_;
+
+  PipelineValidator* validator_ = nullptr;
+  unsigned ring_id_ = 0;
 };
 
 }  // namespace dk::uring

@@ -5,12 +5,16 @@
 // provides the real thing: a dedicated std::jthread that continuously
 // drains the SQ of one or more rings — the sqpoll kthread io_uring spawns
 // with IORING_SETUP_SQPOLL. Includes the idle-backoff behaviour: after
-// `idle_spins` empty polls the thread naps briefly, and the next submission
-// "wakes" it (modeling the IORING_SQ_NEED_WAKEUP protocol).
+// `idle_spins` empty polls the thread naps briefly, and wake() — the
+// io_uring_enter(IORING_ENTER_SQ_WAKEUP) a submitter issues when it sees
+// IORING_SQ_NEED_WAKEUP — cuts the nap short. stop() also interrupts the
+// nap, so shutdown latency is bounded by in-progress work, not nap length.
 #pragma once
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -57,8 +61,21 @@ class SqPollThread {
     }
   }
 
+  /// Interrupt an in-progress nap (IORING_ENTER_SQ_WAKEUP). Safe from any
+  /// thread; a no-op when the poller is spinning.
+  void wake() {
+    {
+      std::lock_guard<std::mutex> lk(nap_mu_);
+      wake_pending_ = true;
+    }
+    nap_cv_.notify_all();
+  }
+
   std::uint64_t polls() const { return polls_.load(std::memory_order_relaxed); }
   std::uint64_t naps() const { return naps_.load(std::memory_order_relaxed); }
+  std::uint64_t wakeups() const {
+    return wakeups_.load(std::memory_order_relaxed);
+  }
   bool napping() const { return napping_.load(std::memory_order_acquire); }
 
  private:
@@ -78,10 +95,21 @@ class SqPollThread {
         napping_.store(true, std::memory_order_release);
         naps_.fetch_add(1, std::memory_order_relaxed);
         if (m_naps_) m_naps_->inc();
-        std::this_thread::sleep_for(params_.nap);
+        nap(st);
         napping_.store(false, std::memory_order_release);
         idle = 0;
       }
+    }
+  }
+
+  // Nap until the timeout, a wake(), or a stop request — whichever first.
+  void nap(std::stop_token st) {
+    std::unique_lock<std::mutex> lk(nap_mu_);
+    const bool woken = nap_cv_.wait_for(lk, st, params_.nap,
+                                        [this] { return wake_pending_; });
+    if (wake_pending_) {
+      wake_pending_ = false;
+      if (woken) wakeups_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
@@ -92,7 +120,11 @@ class SqPollThread {
   Counter* m_moved_ = nullptr;
   std::atomic<std::uint64_t> polls_{0};
   std::atomic<std::uint64_t> naps_{0};
+  std::atomic<std::uint64_t> wakeups_{0};
   std::atomic<bool> napping_{false};
+  std::mutex nap_mu_;
+  std::condition_variable_any nap_cv_;
+  bool wake_pending_ = false;  // guarded by nap_mu_
   std::jthread thread_;
 };
 

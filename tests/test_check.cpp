@@ -1,0 +1,134 @@
+// DK_CHECK / DK_DCHECK semantics: evaluation rules, failure-context capture,
+// handler scoping, and the release-mode counted-violation path.
+#include "common/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/metrics.hpp"
+
+namespace dk {
+namespace {
+
+/// Captures every reported failure for the lifetime of the fixture.
+class CheckTest : public ::testing::Test {
+ protected:
+  CheckTest()
+      : scoped_([this](const CheckContext& ctx) { captured_.push_back(ctx); }) {
+  }
+
+  std::vector<CheckContext> captured_;
+  ScopedCheckFailureHandler scoped_;
+};
+
+TEST_F(CheckTest, PassingCheckReportsNothing) {
+  DK_CHECK(1 + 1 == 2);
+  DK_CHECK(true) << "this message must never be built";
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(CheckTest, FailingCheckCapturesExpressionFileLineAndMessage) {
+  const int line_before = __LINE__;
+  DK_CHECK(2 + 2 == 5) << "ring " << 3 << " broke";
+  ASSERT_EQ(captured_.size(), 1u);
+  const CheckContext& ctx = captured_[0];
+  EXPECT_STREQ(ctx.expression, "2 + 2 == 5");
+  EXPECT_NE(std::strstr(ctx.file, "test_check.cpp"), nullptr);
+  EXPECT_EQ(ctx.line, line_before + 1);
+  EXPECT_EQ(ctx.message, "ring 3 broke");
+#if defined(NDEBUG)
+  EXPECT_FALSE(ctx.fatal);
+#else
+  EXPECT_TRUE(ctx.fatal);
+#endif
+}
+
+TEST_F(CheckTest, FailingCheckWithoutMessageHasEmptyMessage) {
+  DK_CHECK(false);
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].message, "");
+}
+
+TEST_F(CheckTest, ConditionEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  DK_CHECK(++evaluations > 0);
+  EXPECT_EQ(evaluations, 1);
+  DK_CHECK(++evaluations > 100) << "deliberate failure";
+  EXPECT_EQ(evaluations, 2);
+  EXPECT_EQ(captured_.size(), 1u);
+}
+
+TEST_F(CheckTest, MessageOperandsNotEvaluatedWhenCheckPasses) {
+  int builds = 0;
+  auto expensive = [&builds] {
+    ++builds;
+    return std::string("expensive");
+  };
+  DK_CHECK(true) << expensive();
+  EXPECT_EQ(builds, 0);
+  DK_CHECK(false) << expensive();
+  EXPECT_EQ(builds, 1);
+}
+
+TEST_F(CheckTest, FailuresTotalIsMonotonic) {
+  const std::uint64_t before = check_failures_total();
+  DK_CHECK(false) << "one";
+  DK_CHECK(false) << "two";
+  EXPECT_EQ(check_failures_total(), before + 2);
+}
+
+TEST_F(CheckTest, DcheckMatchesBuildType) {
+  int evaluations = 0;
+  DK_DCHECK(++evaluations < 0) << "hot-path check";
+#if defined(NDEBUG)
+  // Compiled out: the condition must not run and nothing is reported.
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_TRUE(captured_.empty());
+#else
+  // Debug: identical to DK_CHECK.
+  EXPECT_EQ(evaluations, 1);
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].message, "hot-path check");
+#endif
+}
+
+TEST_F(CheckTest, ScopedHandlerNestsAndRestores) {
+  std::vector<std::string> inner;
+  {
+    ScopedCheckFailureHandler nested(
+        [&inner](const CheckContext& ctx) { inner.push_back(ctx.message); });
+    DK_CHECK(false) << "seen by inner";
+  }
+  DK_CHECK(false) << "seen by outer";
+  ASSERT_EQ(inner.size(), 1u);
+  EXPECT_EQ(inner[0], "seen by inner");
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].message, "seen by outer");
+}
+
+#if defined(NDEBUG)
+// Release only: with no handler installed, the default handler counts the
+// violation in the check metrics registry and continues. (In debug the
+// default handler aborts, so this path can only be exercised here.)
+TEST(CheckDefaultHandler, ReleaseFailuresAreCountedInRegistry) {
+  MetricsRegistry registry;
+  set_check_metrics_registry(&registry);
+  DK_CHECK(1 == 2) << "counted, not fatal";
+  set_check_metrics_registry(nullptr);
+
+  const Counter* total = registry.find_counter("check.violations.total");
+  ASSERT_NE(total, nullptr);
+  EXPECT_EQ(total->value(), 1u);
+  // A per-site counter keyed by <file>:<line> exists too.
+  bool found_site = false;
+  for (const auto& name : registry.counter_names())
+    if (name.find("test_check.cpp") != std::string::npos) found_site = true;
+  EXPECT_TRUE(found_site);
+}
+#endif
+
+}  // namespace
+}  // namespace dk

@@ -128,7 +128,9 @@ TEST(Straw2Bucket, WeightChangeOnlyMovesDataToOrFromChangedItem) {
   for (std::uint32_t x = 0; x < 20000; ++x) {
     const ItemId a = before.choose(x, 0);
     const ItemId b = after.choose(x, 0);
-    if (a != b) EXPECT_EQ(b, 2) << "x=" << x << " moved " << a << "->" << b;
+    if (a != b) {
+      EXPECT_EQ(b, 2) << "x=" << x << " moved " << a << "->" << b;
+    }
   }
 }
 
