@@ -23,6 +23,7 @@ std::string_view PipelineValidator::violation_name(Violation kind) {
     case Violation::descriptor_leak: return "descriptor_leak";
     case Violation::trace_order: return "trace_order";
     case Violation::quiescence: return "quiescence";
+    case Violation::io_leak: return "io_leak";
   }
   return "unknown";
 }
@@ -237,6 +238,32 @@ void PipelineValidator::on_trace_complete(const StageTrace& trace) {
   }
 }
 
+// --- I/O resolution under fault injection -----------------------------------
+
+void PipelineValidator::on_io_started(std::uint64_t token) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  ++ios_inflight_[token];
+}
+
+void PipelineValidator::on_io_resolved(std::uint64_t token) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto it = ios_inflight_.find(token);
+  if (it == ios_inflight_.end() || it->second == 0) {
+    std::ostringstream os;
+    os << "I/O token " << token
+       << " resolved but never started (double resolution)";
+    violation(Violation::io_leak, __LINE__, os.str());
+    return;
+  }
+  if (--it->second == 0) ios_inflight_.erase(it);
+  ++ios_resolved_;
+}
+
+void PipelineValidator::on_fault_injected() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  ++faults_injected_;
+}
+
 // --- teardown ---------------------------------------------------------------
 
 std::uint64_t PipelineValidator::verify_quiescent() {
@@ -263,6 +290,12 @@ std::uint64_t PipelineValidator::verify_quiescent() {
     std::ostringstream os;
     os << descriptors_.size() << " QDMA descriptor(s) never completed";
     violation(Violation::descriptor_leak, __LINE__, os.str());
+  }
+  if (!ios_inflight_.empty()) {
+    std::ostringstream os;
+    os << ios_inflight_.size() << " I/O(s) neither completed nor errored ("
+       << faults_injected_ << " fault(s) injected this run)";
+    violation(Violation::io_leak, __LINE__, os.str());
   }
   return total_ - before;
 }
@@ -302,6 +335,18 @@ unsigned PipelineValidator::tags_in_use(unsigned hw_queue) const {
 std::uint64_t PipelineValidator::descriptors_outstanding() const {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   return descriptors_.size();
+}
+
+std::uint64_t PipelineValidator::io_inflight() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::uint64_t n = 0;
+  for (const auto& [token, count] : ios_inflight_) n += count;
+  return n;
+}
+
+std::uint64_t PipelineValidator::faults_injected() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return faults_injected_;
 }
 
 }  // namespace dk

@@ -53,8 +53,9 @@ class PipelineValidator {
     descriptor_leak,    // descriptors still outstanding at quiescence
     trace_order,        // StageTrace hops non-monotonic or endpoint missing
     quiescence,         // rings not drained / balanced at teardown
+    io_leak,            // an I/O neither completed nor errored (fault lost)
   };
-  static constexpr std::size_t kViolationKinds = 11;
+  static constexpr std::size_t kViolationKinds = 12;
 
   static std::string_view violation_name(Violation kind);
 
@@ -84,6 +85,17 @@ class PipelineValidator {
   // --- StageTrace hop-ordering audit ------------------------------------
   void on_trace_complete(const StageTrace& trace);
 
+  // --- I/O resolution under fault injection -----------------------------
+  // Every application I/O entering the framework reports on_io_started with
+  // a unique token and MUST later report on_io_resolved — whether it
+  // completed, was retried to success, was served degraded, or surfaced an
+  // error CQE. Combined with on_fault_injected (called by the
+  // sim::FaultInjector for every injected fault), verify_quiescent() proves
+  // no injected fault silently swallowed an I/O.
+  void on_io_started(std::uint64_t token);
+  void on_io_resolved(std::uint64_t token);
+  void on_fault_injected();
+
   /// Teardown accounting: every ring drained and balanced, zero tags held,
   /// zero descriptors outstanding. Returns the number of violations found
   /// by this call (0 when the pipeline wound down cleanly).
@@ -99,6 +111,8 @@ class PipelineValidator {
   unsigned tags_in_use(unsigned hw_queue) const;
   std::uint64_t descriptors_outstanding() const;
   std::uint64_t traces_audited() const { return traces_audited_; }
+  std::uint64_t io_inflight() const;
+  std::uint64_t faults_injected() const;
 
  private:
   struct RingState {
@@ -127,7 +141,10 @@ class PipelineValidator {
   std::unordered_map<unsigned, RingState> rings_;
   std::unordered_map<unsigned, TagState> tags_;
   std::unordered_map<std::uint64_t, DescriptorState> descriptors_;
+  std::unordered_map<std::uint64_t, std::uint32_t> ios_inflight_;
   std::uint64_t descriptors_completed_ = 0;
+  std::uint64_t ios_resolved_ = 0;
+  std::uint64_t faults_injected_ = 0;
   std::uint64_t traces_audited_ = 0;
   std::uint64_t counts_[kViolationKinds] = {};
   std::uint64_t total_ = 0;

@@ -113,6 +113,19 @@ Framework::Framework(sim::Simulator& sim, FrameworkConfig config)
     mq_ = std::make_unique<blk::MqBlockLayer>(mqc, *driver_);
   }
 
+  // Fault injection must be armed after the conditional cluster rebuild
+  // above, or the crash/restart timers would reference the discarded one.
+  if (config_.fault_plan.enabled()) {
+    faults_ = std::make_unique<sim::FaultInjector>(sim_, config_.fault_plan);
+    faults_->set_validator(&validator_);
+    cluster_->arm_faults(*faults_);
+    if (fpga_) fpga_->qdma().set_fault_injector(faults_.get());
+  }
+  if (config_.retry_policy)
+    client_->set_retry_policy(*config_.retry_policy);
+  else if (config_.fault_plan.enabled())
+    client_->set_retry_policy(rados::RetryPolicy{});
+
   wire_metrics();
   wire_validator();
 }
@@ -134,6 +147,7 @@ void Framework::wire_metrics() {
       urings_->ring(i).attach_metrics(metrics_, "uring" + std::to_string(i));
   if (uifd_) uifd_->attach_metrics(metrics_, "uifd");
   if (fpga_) fpga_->qdma().attach_metrics(metrics_, "qdma");
+  if (faults_) faults_->attach_metrics(metrics_, "fault.injected");
   for (std::size_t i = 0; i < cluster_->osd_count(); ++i)
     cluster_->osd(static_cast<int>(i)).attach_metrics(metrics_, "osd");
 }
@@ -293,6 +307,7 @@ void Framework::write(unsigned job, std::uint64_t offset,
   m_writes_->inc();
   m_bytes_written_->inc(ctx.length);
   m_inflight_->add();
+  validator_.on_io_started(token);
 
   if (traits_.uses_uring) {
     uring::IoUring& ring =
@@ -302,6 +317,7 @@ void Framework::write(unsigned job, std::uint64_t offset,
     if (!s.ok()) {
       auto wcb = std::move(ctx.wcb);
       inflight_.erase(token);
+      validator_.on_io_resolved(token);
       m_inflight_->sub();
       m_errors_->inc();
       wcb(-static_cast<std::int32_t>(s.code()));
@@ -335,6 +351,7 @@ void Framework::read(unsigned job, std::uint64_t offset, std::uint64_t length,
   m_reads_->inc();
   m_bytes_read_->inc(length);
   m_inflight_->add();
+  validator_.on_io_started(token);
 
   if (traits_.uses_uring) {
     uring::IoUring& ring = urings_->ring(job % urings_->size());
@@ -343,6 +360,7 @@ void Framework::read(unsigned job, std::uint64_t offset, std::uint64_t length,
     if (!s.ok()) {
       auto rcb = std::move(ctx.rcb);
       inflight_.erase(token);
+      validator_.on_io_resolved(token);
       m_inflight_->sub();
       m_errors_->inc();
       rcb(Status::Error(s.code(), "submission queue full"));
@@ -449,6 +467,7 @@ void Framework::finish_io(std::uint64_t token, std::int32_t res) {
   DK_CHECK(it != inflight_.end()) << "finish_io on unknown token " << token;
   IoCtx ctx = std::move(it->second);
   inflight_.erase(it);
+  validator_.on_io_resolved(token);
 
   ctx.trace.mark(Stage::complete, sim_.now());
   validator_.on_trace_complete(ctx.trace);

@@ -31,6 +31,7 @@
 #include "host/uifd.hpp"
 #include "rados/client.hpp"
 #include "rados/cluster.hpp"
+#include "sim/faults.hpp"
 #include "sim/resources.hpp"
 #include "uring/io_uring.hpp"
 #include "uring/registry.hpp"
@@ -59,6 +60,16 @@ struct FrameworkConfig {
 
   Calibration calib;
   std::uint64_t seed = 42;
+
+  /// Deterministic fault schedule (frame loss/delay, OSD crash/restart,
+  /// QDMA descriptor errors). Default-empty == disabled: no injector is
+  /// built, no timers armed, and every bench output is byte-identical to a
+  /// faultless build. Enabling it also arms the client RetryPolicy below.
+  sim::FaultPlan fault_plan;
+  /// Per-op deadline/backoff policy for the RADOS client. Defaults off;
+  /// set explicitly, or left empty with fault_plan enabled, the plan's
+  /// default policy is armed so injected faults are survivable.
+  std::optional<rados::RetryPolicy> retry_policy;
 };
 
 struct FrameworkStats {
@@ -102,6 +113,9 @@ class Framework {
   /// validator().verify_quiescent() after draining for leak checks.
   PipelineValidator& validator() { return validator_; }
   const PipelineValidator& validator() const { return validator_; }
+
+  /// Fault injector for this stack, or nullptr when fault_plan is empty.
+  sim::FaultInjector* faults() { return faults_.get(); }
 
   sim::Simulator& simulator() { return sim_; }
   rados::Cluster& cluster() { return *cluster_; }
@@ -178,6 +192,7 @@ class Framework {
   std::unique_ptr<rados::RadosClient> client_;
   std::unique_ptr<fpga::FpgaDevice> fpga_;
   std::unique_ptr<host::RbdDevice> image_;
+  std::unique_ptr<sim::FaultInjector> faults_;
 
   // Host CPU stations: one per io_uring instance (or the single NBD loop).
   // Submissions (and the per-I/O deferred-bookkeeping occupancy) serialize

@@ -70,8 +70,23 @@ void QdmaEngine::attach_validator(PipelineValidator& validator) {
   validator_ = &validator;
 }
 
+void QdmaEngine::complete_descriptor(unsigned id, bool h2c_dir,
+                                     std::uint64_t seq) {
+  QueueSet* qs = queue_set(id);
+  if (qs) {
+    // Consume the descriptor and post the completion entry.
+    auto desc = h2c_dir ? qs->fetch_h2c() : qs->fetch_c2h();
+    if (desc) qs->push_completion(*desc);
+  }
+  DK_CHECK(outstanding_descriptors_ > 0)
+      << "CE writeback with no descriptors outstanding";
+  if (outstanding_descriptors_ > 0) --outstanding_descriptors_;
+  if (validator_) validator_->on_descriptor_completed(seq);
+  if (metrics_.outstanding) metrics_.outstanding->sub();
+}
+
 Status QdmaEngine::dma(unsigned id, std::uint64_t bytes, bool h2c_dir,
-                       sim::EventFn done) {
+                       DmaCallback done) {
   QueueSet* qs = queue_set(id);
   if (!qs) return Status::Error(Errc::not_found, "no such queue set");
   if (outstanding_descriptors_ >= kMaxOutstandingDescriptors) {
@@ -121,39 +136,50 @@ Status QdmaEngine::dma(unsigned id, std::uint64_t bytes, bool h2c_dir,
                                                  done = std::move(done)]() mutable {
     ++stats_.descriptors_fetched;
     if (validator_) validator_->on_descriptor_fetched(seq);
+    if (faults_ && faults_->should_fail_descriptor_fetch()) {
+      // DE abort: the payload never crosses PCIe; the CE writes back an
+      // error status after its usual writeback latency. The descriptor
+      // still retires cleanly so quiescence accounting holds.
+      sim_.schedule_after(config_.completion_latency,
+                          [this, id, h2c_dir, seq, done = std::move(done)] {
+                            complete_descriptor(id, h2c_dir, seq);
+                            if (done)
+                              done(Status::Error(
+                                  Errc::io_error,
+                                  "QDMA descriptor fetch error"));
+                          });
+      return;
+    }
     pcie_.transfer(bytes + kDescriptorBytes, [this, id, h2c_dir, dma_start,
                                               seq,
                                               done = std::move(done)]() mutable {
       auto& engine = h2c_dir ? h2c_engine_ : c2h_engine_;
       engine.submit(config_.completion_latency, [this, id, h2c_dir, dma_start,
                                                  seq, done = std::move(done)] {
-        QueueSet* qs = queue_set(id);
-        if (qs) {
-          // Consume the descriptor and post the completion entry.
-          auto desc = h2c_dir ? qs->fetch_h2c() : qs->fetch_c2h();
-          if (desc) qs->push_completion(*desc);
-        }
-        DK_CHECK(outstanding_descriptors_ > 0)
-            << "CE writeback with no descriptors outstanding";
-        if (outstanding_descriptors_ > 0) --outstanding_descriptors_;
-        if (validator_) validator_->on_descriptor_completed(seq);
-        if (metrics_.outstanding) {
-          metrics_.outstanding->sub();
+        complete_descriptor(id, h2c_dir, seq);
+        // Completion error: the DMA ran full-length but the CE flags it bad
+        // (e.g. reorder-buffer parity); the host must treat it as failed.
+        const bool ce_error = faults_ && faults_->should_fail_completion();
+        if (!ce_error && metrics_.h2c_latency) {
           (h2c_dir ? metrics_.h2c_latency : metrics_.c2h_latency)
               ->record(sim_.now() - dma_start);
         }
-        if (done) done();
+        if (done) {
+          done(ce_error
+                   ? Status::Error(Errc::io_error, "QDMA completion error")
+                   : Status::Ok());
+        }
       });
     });
   });
   return Status::Ok();
 }
 
-Status QdmaEngine::h2c(unsigned id, std::uint64_t bytes, sim::EventFn done) {
+Status QdmaEngine::h2c(unsigned id, std::uint64_t bytes, DmaCallback done) {
   return dma(id, bytes, /*h2c_dir=*/true, std::move(done));
 }
 
-Status QdmaEngine::c2h(unsigned id, std::uint64_t bytes, sim::EventFn done) {
+Status QdmaEngine::c2h(unsigned id, std::uint64_t bytes, DmaCallback done) {
   return dma(id, bytes, /*h2c_dir=*/false, std::move(done));
 }
 

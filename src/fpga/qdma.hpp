@@ -26,6 +26,7 @@
 #include "common/ring_buffer.hpp"
 #include "common/status.hpp"
 #include "common/units.hpp"
+#include "sim/faults.hpp"
 #include "sim/resources.hpp"
 #include "sim/simulator.hpp"
 
@@ -36,6 +37,11 @@ class PipelineValidator;
 namespace dk::fpga {
 
 enum class QueueClass : std::uint8_t { replication, erasure_coding };
+
+/// DMA completion callback: Ok() on a clean CE writeback, io_error when the
+/// Descriptor Engine aborted the fetch or the Completion Engine wrote back
+/// an error status (fault-injected paths).
+using DmaCallback = std::function<void(Status)>;
 
 /// 128-byte DMA descriptor (§IV.A): the five fields the Descriptor Engine
 /// consumes. The descriptor does not carry payload.
@@ -130,11 +136,18 @@ class QdmaEngine {
   std::vector<unsigned> queue_sets_of_vf(unsigned vf) const;
 
   /// Host-to-card DMA of `bytes` on queue `id` (descriptor fetch + PCIe
-  /// serialization + engine); `done` fires at completion-write time.
-  Status h2c(unsigned id, std::uint64_t bytes, sim::EventFn done);
+  /// serialization + engine); `done` fires at completion-write time with
+  /// the DMA status.
+  Status h2c(unsigned id, std::uint64_t bytes, DmaCallback done);
 
   /// Card-to-host DMA.
-  Status c2h(unsigned id, std::uint64_t bytes, sim::EventFn done);
+  Status c2h(unsigned id, std::uint64_t bytes, DmaCallback done);
+
+  /// Arm descriptor-fetch / completion error injection (nullptr detaches).
+  /// Errored descriptors still complete their lifecycle (consumed + error
+  /// writeback), so validator quiescence holds under faults.
+  void set_fault_injector(sim::FaultInjector* faults) { faults_ = faults; }
+  sim::FaultInjector* fault_injector() const { return faults_; }
 
   /// Pure timing query (no queue state): latency one DMA op of `bytes`
   /// would observe on an idle engine.
@@ -151,7 +164,11 @@ class QdmaEngine {
 
  private:
   Status dma(unsigned id, std::uint64_t bytes, bool h2c_dir,
-             sim::EventFn done);
+             DmaCallback done);
+  /// CE-side descriptor retirement shared by the success and error paths:
+  /// consume the ring descriptor, post the completion entry, release the
+  /// UltraRAM slot, and close the validator lifecycle.
+  void complete_descriptor(unsigned id, bool h2c_dir, std::uint64_t seq);
 
   sim::Simulator& sim_;
   QdmaConfig config_;
@@ -164,6 +181,7 @@ class QdmaEngine {
   unsigned outstanding_descriptors_ = 0;
   std::uint64_t descriptor_seq_ = 0;  // identity for lifetime validation
   PipelineValidator* validator_ = nullptr;
+  sim::FaultInjector* faults_ = nullptr;
 
   struct MetricHandles {
     Counter* h2c_ops = nullptr;

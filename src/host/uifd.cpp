@@ -26,6 +26,33 @@ void UifdDriver::attach_metrics(MetricsRegistry& registry,
   metrics_.c2h_bytes = &registry.counter(prefix + ".c2h_bytes");
   metrics_.errors = &registry.counter(prefix + ".errors");
   metrics_.inflight = &registry.gauge(prefix + ".inflight");
+  // Fixed global name alongside the client's io.retries.{read,write}. Only
+  // registered under an armed fault injector (the sole source of DMA
+  // errors) so fault-free metric dumps stay byte-identical.
+  if (device_.qdma().fault_injector() != nullptr)
+    metrics_.dma_retries = &registry.counter("io.retries.qdma");
+}
+
+void UifdDriver::dma_with_retry(unsigned qs, std::uint64_t bytes, bool h2c_dir,
+                                unsigned attempt,
+                                std::function<void(Status)> done) {
+  constexpr unsigned kMaxDmaAttempts = 3;
+  // Shared so the sync-reject path below can still reach the callback after
+  // it was moved into the completion closure.
+  auto done_sp = std::make_shared<std::function<void(Status)>>(std::move(done));
+  auto on_dma = [this, qs, bytes, h2c_dir, attempt, done_sp](Status s) {
+    if (s.ok() || attempt + 1 >= kMaxDmaAttempts) {
+      (*done_sp)(std::move(s));
+      return;
+    }
+    ++stats_.dma_retries;
+    if (metrics_.dma_retries) metrics_.dma_retries->inc();
+    dma_with_retry(qs, bytes, h2c_dir, attempt + 1, std::move(*done_sp));
+  };
+  const Status issued =
+      h2c_dir ? device_.qdma().h2c(qs, bytes, std::move(on_dma))
+              : device_.qdma().c2h(qs, bytes, std::move(on_dma));
+  if (!issued.ok()) (*done_sp)(issued);
 }
 
 void UifdDriver::queue_rq(blk::Request request) {
@@ -50,17 +77,19 @@ void UifdDriver::queue_rq(blk::Request request) {
       metrics_.writes->inc();
       metrics_.h2c_bytes->inc(req->len);
     }
-    // Host-to-card payload DMA, then the storage-side pipeline.
-    const Status s = device_.qdma().h2c(qs, req->len, [this, req] {
+    // Host-to-card payload DMA (re-driven on injected DMA errors), then the
+    // storage-side pipeline.
+    dma_with_retry(qs, req->len, /*h2c_dir=*/true, 0, [this, req](Status s) {
+      if (!s.ok()) {
+        ++stats_.errors;
+        req->complete(-static_cast<std::int32_t>(s.code()));
+        return;
+      }
       remote_(*req, [this, req](std::int32_t res) {
         if (res < 0) ++stats_.errors;
         req->complete(res);
       });
     });
-    if (!s.ok()) {
-      ++stats_.errors;
-      req->complete(-static_cast<std::int32_t>(s.code()));
-    }
     return;
   }
 
@@ -75,12 +104,15 @@ void UifdDriver::queue_rq(blk::Request request) {
     }
     stats_.c2h_bytes += req->len;
     if (metrics_.c2h_bytes) metrics_.c2h_bytes->inc(req->len);
-    const Status s = device_.qdma().c2h(
-        qs, req->len, [req, res] { req->complete(res); });
-    if (!s.ok()) {
-      ++stats_.errors;
-      req->complete(-static_cast<std::int32_t>(s.code()));
-    }
+    dma_with_retry(qs, req->len, /*h2c_dir=*/false, 0,
+                   [this, req, res](Status s) {
+                     if (!s.ok()) {
+                       ++stats_.errors;
+                       req->complete(-static_cast<std::int32_t>(s.code()));
+                       return;
+                     }
+                     req->complete(res);
+                   });
   });
 }
 

@@ -19,6 +19,7 @@
 
 #include "blk/mq.hpp"
 #include "common/metrics.hpp"
+#include "common/status.hpp"
 #include "fpga/device.hpp"
 
 namespace dk::host {
@@ -35,6 +36,7 @@ struct UifdStats {
   std::uint64_t h2c_bytes = 0;
   std::uint64_t c2h_bytes = 0;
   std::uint64_t errors = 0;
+  std::uint64_t dma_retries = 0;  // QDMA ops re-issued after an async error
 };
 
 /// Storage-side executor: performs the remote part of the request (card ->
@@ -63,6 +65,13 @@ class UifdDriver final : public blk::Driver {
     return queue_sets_[request.hw_queue % queue_sets_.size()];
   }
 
+  /// Issue a DMA, transparently re-driving the doorbell on async errors
+  /// (injected descriptor-fetch / completion faults) up to a small attempt
+  /// cap. Synchronous rejects (ring full) are NOT retried here — that would
+  /// spin at the same sim instant; backpressure belongs to the submitter.
+  void dma_with_retry(unsigned qs, std::uint64_t bytes, bool h2c_dir,
+                      unsigned attempt, std::function<void(Status)> done);
+
   fpga::FpgaDevice& device_;
   UifdConfig config_;
   RemoteIoFn remote_;
@@ -76,6 +85,7 @@ class UifdDriver final : public blk::Driver {
     Counter* c2h_bytes = nullptr;
     Counter* errors = nullptr;
     Gauge* inflight = nullptr;
+    Counter* dma_retries = nullptr;
   };
   MetricHandles metrics_;
 };

@@ -44,20 +44,33 @@ void Network::send(Message msg) {
     return;
   }
 
+  // Injected frame loss: the whole message is lost on the wire and delivery
+  // never fires (the model folds segment loss and the absent retransmit into
+  // one event; recovery belongs to the client-side retry policy). The TX
+  // serialization cost is still paid below only for delivered messages —
+  // dropping before serialization keeps the fabric channels independent of
+  // fault decisions, which preserves single-domain replayability.
+  if (faults_ != nullptr && faults_->should_drop_frame(msg.src, msg.dst))
+    return;
+  const Nanos extra_delay =
+      faults_ != nullptr ? faults_->link_extra_delay(msg.src, msg.dst) : 0;
+
   Node& src = *nodes_[msg.src];
   const std::uint64_t wire = wire_bytes(msg.payload_bytes, config_.nic.mtu);
+  const Nanos forward_delay = config_.switch_latency + extra_delay;
   // TX serialization (+ NIC latency folded into the channel) ...
-  src.tx->transfer(wire, [this, wire, &dst, m = std::move(msg)]() mutable {
-    // ... switch forwarding ...
-    sim_.schedule_after(config_.switch_latency,
-                        [this, wire, &dst, m = std::move(m)]() mutable {
-                          // ... RX serialization at the receiver.
-                          dst.rx->transfer(wire, [&dst, m = std::move(m)] {
-                            dst.rx_payload += m.payload_bytes;
-                            dst.deliver(m);
-                          });
-                        });
-  });
+  src.tx->transfer(
+      wire, [this, wire, forward_delay, &dst, m = std::move(msg)]() mutable {
+        // ... switch forwarding (+ injected congestion delay) ...
+        sim_.schedule_after(forward_delay,
+                            [this, wire, &dst, m = std::move(m)]() mutable {
+                              // ... RX serialization at the receiver.
+                              dst.rx->transfer(wire, [&dst, m = std::move(m)] {
+                                dst.rx_payload += m.payload_bytes;
+                                dst.deliver(m);
+                              });
+                            });
+      });
 }
 
 double Network::node_rx_mbps(NodeId id, Nanos elapsed) const {

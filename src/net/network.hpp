@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "sim/faults.hpp"
 #include "sim/resources.hpp"
 #include "sim/simulator.hpp"
 
@@ -71,7 +72,13 @@ class Network {
   /// Send a message; delivery callback of `msg.dst` fires after TX
   /// serialization + switch + RX serialization + NIC latencies.
   /// Loopback (src == dst) skips the fabric and costs only nic_latency.
+  /// With a fault injector attached, non-loopback messages may be dropped
+  /// (whole-message frame loss — delivery never fires) or delayed.
   void send(Message msg);
+
+  /// Arm fault injection on this fabric (nullptr detaches). Loopback is
+  /// never faulted: it models in-host queue hand-off, not a wire.
+  void set_fault_injector(sim::FaultInjector* faults) { faults_ = faults; }
 
   /// Total payload bytes handed to send() so far.
   std::uint64_t payload_bytes_sent() const { return payload_sent_; }
@@ -92,6 +99,7 @@ class Network {
   FabricConfig config_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::uint64_t payload_sent_ = 0;
+  sim::FaultInjector* faults_ = nullptr;
 };
 
 /// iperf-style validation: stream `duration` worth of back-to-back segments

@@ -5,6 +5,32 @@
 
 namespace dk::rados {
 
+namespace {
+
+/// Transient failures worth another attempt. Everything else (bad argument,
+/// decode failure, permanent shortage) surfaces to the caller immediately.
+bool status_retryable(const Status& s) {
+  return s.code() == Errc::timed_out || s.code() == Errc::again ||
+         s.code() == Errc::io_error;
+}
+
+Nanos scaled_capped(Nanos base, double factor, unsigned attempt, Nanos cap) {
+  double v = static_cast<double>(base);
+  for (unsigned i = 0; i < attempt; ++i) v *= factor;
+  const auto cap_d = static_cast<double>(cap);
+  return static_cast<Nanos>(v < cap_d ? v : cap_d);
+}
+
+}  // namespace
+
+Nanos RetryPolicy::timeout_for(unsigned attempt) const {
+  return scaled_capped(base_timeout, backoff, attempt, max_timeout);
+}
+
+Nanos RetryPolicy::delay_for(unsigned attempt) const {
+  return scaled_capped(base_delay, backoff, attempt, max_timeout);
+}
+
 RadosClient::RadosClient(Cluster& cluster) : cluster_(cluster) {
   cluster_.set_client_handler(
       [this](std::shared_ptr<OpBody> body) { on_reply(std::move(body)); });
@@ -17,6 +43,93 @@ void RadosClient::attach_metrics(MetricsRegistry& registry,
   metrics_.messages_sent = &registry.counter(prefix + ".messages_sent");
   metrics_.ec_bytes_encoded = &registry.counter(prefix + ".ec_bytes_encoded");
   metrics_.inflight = &registry.gauge(prefix + ".inflight");
+  // Fixed global names (not prefix-scoped): there is one application-facing
+  // I/O path per registry, and dashboards/tests key on these. Registered
+  // only once a RetryPolicy is armed so that fault-free stacks keep their
+  // metric dumps byte-identical to builds without this subsystem.
+  if (retry_) {
+    metrics_.retries_read = &registry.counter("io.retries.read");
+    metrics_.retries_write = &registry.counter("io.retries.write");
+    metrics_.timeouts = &registry.counter("io.timeouts");
+    metrics_.degraded_reads = &registry.counter("io.degraded_reads");
+  }
+}
+
+void RadosClient::count_retry(bool is_read) {
+  if (is_read) {
+    ++retries_read_;
+    if (metrics_.retries_read) metrics_.retries_read->inc();
+  } else {
+    ++retries_write_;
+    if (metrics_.retries_write) metrics_.retries_write->inc();
+  }
+}
+
+void RadosClient::count_degraded_read() {
+  ++degraded_reads_;
+  if (metrics_.degraded_reads) metrics_.degraded_reads->inc();
+}
+
+void RadosClient::arm_deadline(std::uint64_t op_id, Nanos timeout) {
+  cluster_.simulator().schedule_after(timeout, [this, op_id] {
+    auto it = pending_.find(op_id);
+    if (it == pending_.end()) return;  // completed within the deadline
+    Pending pend = std::move(it->second);
+    pending_.erase(it);
+    ++timeouts_;
+    if (metrics_.timeouts) metrics_.timeouts->inc();
+    if (metrics_.inflight) metrics_.inflight->sub();
+    // Late replies for this op_id are now stale and ignored by on_reply.
+    Status s = Status::Error(Errc::timed_out, "op deadline exceeded");
+    if (pend.is_read) {
+      pend.rcb(std::move(s));
+    } else {
+      pend.wcb(std::move(s));
+    }
+  });
+}
+
+void RadosClient::start_write_attempt(std::shared_ptr<WriteAttempt> ctx) {
+  auto attempt_cb = [this, ctx](Status s) {
+    if (s.ok() || !status_retryable(s) ||
+        ctx->attempt >= retry_->max_retries) {
+      ctx->cb(std::move(s));
+      return;
+    }
+    const Nanos delay = retry_->delay_for(ctx->attempt);
+    ++ctx->attempt;
+    count_retry(/*is_read=*/false);
+    // Re-issue after backoff with a fresh acting set: after a CRUSH
+    // reweight the write lands on the new primary.
+    cluster_.simulator().schedule_after(
+        delay, [this, ctx] { start_write_attempt(ctx); });
+  };
+  const Nanos timeout = retry_->timeout_for(ctx->attempt);
+  const std::uint64_t op_id =
+      dispatch_write(ctx->pool, ctx->oid, ctx->offset, ctx->data,
+                     ctx->strategy, std::move(attempt_cb));
+  if (op_id != 0) arm_deadline(op_id, timeout);
+}
+
+void RadosClient::start_read_attempt(std::shared_ptr<ReadAttempt> ctx) {
+  auto attempt_cb = [this, ctx](Result<std::vector<std::uint8_t>> r) {
+    const Status s = r.status();
+    if (r.ok() || !status_retryable(s) ||
+        ctx->attempt >= retry_->max_retries) {
+      ctx->cb(std::move(r));
+      return;
+    }
+    const Nanos delay = retry_->delay_for(ctx->attempt);
+    ++ctx->attempt;
+    count_retry(/*is_read=*/true);
+    cluster_.simulator().schedule_after(
+        delay, [this, ctx] { start_read_attempt(ctx); });
+  };
+  const Nanos timeout = retry_->timeout_for(ctx->attempt);
+  const std::uint64_t op_id =
+      dispatch_read(ctx->pool, ctx->oid, ctx->offset, ctx->length,
+                    ctx->strategy, std::move(attempt_cb));
+  if (op_id != 0) arm_deadline(op_id, timeout);
 }
 
 void RadosClient::op_started() {
@@ -46,26 +159,46 @@ const ec::ReedSolomon& RadosClient::codec(unsigned k, unsigned m) {
 void RadosClient::write(int pool, std::uint64_t oid, std::uint64_t offset,
                         std::vector<std::uint8_t> data, WriteStrategy strategy,
                         WriteCallback cb) {
+  if (!retry_) {
+    dispatch_write(pool, oid, offset, std::move(data), strategy,
+                   std::move(cb));
+    return;
+  }
+  auto ctx = std::make_shared<WriteAttempt>();
+  ctx->pool = pool;
+  ctx->oid = oid;
+  ctx->offset = offset;
+  ctx->data = std::move(data);
+  ctx->strategy = strategy;
+  ctx->cb = std::move(cb);
+  start_write_attempt(std::move(ctx));
+}
+
+std::uint64_t RadosClient::dispatch_write(int pool, std::uint64_t oid,
+                                          std::uint64_t offset,
+                                          std::vector<std::uint8_t> data,
+                                          WriteStrategy strategy,
+                                          WriteCallback cb) {
   const auto& p = cluster_.pool(pool);
   auto acting = cluster_.acting_set(pool, oid, &work_);
   if (acting.size() < p.fanout()) {
     cb(Status::Error(Errc::no_space, "not enough OSDs in acting set"));
-    return;
+    return 0;
   }
   if (p.mode == PoolConfig::Mode::replicated) {
-    write_replicated(pool, oid, offset, std::move(data), acting, strategy,
-                     std::move(cb));
-  } else {
-    write_ec(pool, oid, offset, std::move(data), acting, strategy,
-             std::move(cb));
+    return write_replicated(pool, oid, offset, std::move(data), acting,
+                            strategy, std::move(cb));
   }
+  return write_ec(pool, oid, offset, std::move(data), acting, strategy,
+                  std::move(cb));
 }
 
-void RadosClient::write_replicated(int pool, std::uint64_t oid,
-                                   std::uint64_t offset,
-                                   std::vector<std::uint8_t> data,
-                                   const std::vector<int>& acting,
-                                   WriteStrategy strategy, WriteCallback cb) {
+std::uint64_t RadosClient::write_replicated(int pool, std::uint64_t oid,
+                                            std::uint64_t offset,
+                                            std::vector<std::uint8_t> data,
+                                            const std::vector<int>& acting,
+                                            WriteStrategy strategy,
+                                            WriteCallback cb) {
   const std::uint64_t op_id = next_op_id_++;
   Pending pend;
   pend.wcb = std::move(cb);
@@ -82,7 +215,7 @@ void RadosClient::write_replicated(int pool, std::uint64_t oid,
     body->data = std::move(data);
     body->replicas.assign(acting.begin() + 1, acting.end());
     send(acting[0], std::move(body));
-    return;
+    return op_id;
   }
 
   // client_fanout: one direct copy per replica, acked independently.
@@ -99,18 +232,20 @@ void RadosClient::write_replicated(int pool, std::uint64_t oid,
     body->reply_osd = -1;
     send(osd, std::move(body));
   }
+  return op_id;
 }
 
-void RadosClient::write_ec(int pool, std::uint64_t oid, std::uint64_t offset,
-                           std::vector<std::uint8_t> data,
-                           const std::vector<int>& acting,
-                           WriteStrategy strategy, WriteCallback cb) {
+std::uint64_t RadosClient::write_ec(int pool, std::uint64_t oid,
+                                    std::uint64_t offset,
+                                    std::vector<std::uint8_t> data,
+                                    const std::vector<int>& acting,
+                                    WriteStrategy strategy, WriteCallback cb) {
   const auto& profile = cluster_.pool(pool).ec_profile;
   const unsigned k = profile.k, m = profile.m;
   if (offset % k != 0) {
     cb(Status::Error(Errc::invalid_argument,
                      "EC write offset must be k-aligned"));
-    return;
+    return 0;
   }
   const std::uint64_t op_id = next_op_id_++;
   Pending pend;
@@ -130,7 +265,7 @@ void RadosClient::write_ec(int pool, std::uint64_t oid, std::uint64_t offset,
     body->ec_k = k;
     body->ec_m = m;
     send(acting[0], std::move(body));
-    return;
+    return op_id;
   }
 
   // client_fanout: encode locally (functionally — the time cost is charged
@@ -159,28 +294,63 @@ void RadosClient::write_ec(int pool, std::uint64_t oid, std::uint64_t offset,
     body->reply_osd = -1;
     send(acting[s], std::move(body));
   }
+  return op_id;
 }
 
 void RadosClient::read(int pool, std::uint64_t oid, std::uint64_t offset,
                        std::uint64_t length, ReadStrategy strategy,
                        ReadCallback cb) {
+  if (!retry_) {
+    dispatch_read(pool, oid, offset, length, strategy, std::move(cb));
+    return;
+  }
+  auto ctx = std::make_shared<ReadAttempt>();
+  ctx->pool = pool;
+  ctx->oid = oid;
+  ctx->offset = offset;
+  ctx->length = length;
+  ctx->strategy = strategy;
+  ctx->cb = std::move(cb);
+  start_read_attempt(std::move(ctx));
+}
+
+std::uint64_t RadosClient::dispatch_read(int pool, std::uint64_t oid,
+                                         std::uint64_t offset,
+                                         std::uint64_t length,
+                                         ReadStrategy strategy,
+                                         ReadCallback cb) {
   const auto& p = cluster_.pool(pool);
   auto acting = cluster_.acting_set(pool, oid, &work_);
   if (acting.empty()) {
     cb(Status::Error(Errc::not_found, "empty acting set"));
-    return;
+    return 0;
   }
   if (p.mode == PoolConfig::Mode::replicated) {
-    read_replicated(pool, oid, offset, length, acting, std::move(cb));
-  } else {
-    read_ec(pool, oid, offset, length, acting, strategy, std::move(cb));
+    return read_replicated(pool, oid, offset, length, acting, std::move(cb));
   }
+  return read_ec(pool, oid, offset, length, acting, strategy, std::move(cb));
 }
 
-void RadosClient::read_replicated(int pool, std::uint64_t oid,
-                                  std::uint64_t offset, std::uint64_t length,
-                                  const std::vector<int>& acting,
-                                  ReadCallback cb) {
+std::uint64_t RadosClient::read_replicated(int pool, std::uint64_t oid,
+                                           std::uint64_t offset,
+                                           std::uint64_t length,
+                                           const std::vector<int>& acting,
+                                           ReadCallback cb) {
+  // Degraded routing: serve from the first replica not known down. With a
+  // healthy acting set this is the primary, as before.
+  std::size_t choice = acting.size();
+  for (std::size_t i = 0; i < acting.size(); ++i) {
+    if (!cluster_.osd_down(acting[i])) {
+      choice = i;
+      break;
+    }
+  }
+  if (choice == acting.size()) {
+    cb(Status::Error(Errc::io_error, "all replicas down"));
+    return 0;
+  }
+  if (choice != 0) count_degraded_read();
+
   const std::uint64_t op_id = next_op_id_++;
   Pending pend;
   pend.is_read = true;
@@ -195,18 +365,27 @@ void RadosClient::read_replicated(int pool, std::uint64_t oid,
   body->key = ObjectKey{static_cast<std::uint32_t>(pool), oid, -1};
   body->offset = offset;
   body->length = length;
-  send(acting[0], std::move(body));
+  send(acting[choice], std::move(body));
+  return op_id;
 }
 
-void RadosClient::read_ec(int pool, std::uint64_t oid, std::uint64_t offset,
-                          std::uint64_t length, const std::vector<int>& acting,
-                          ReadStrategy strategy, ReadCallback cb) {
+std::uint64_t RadosClient::read_ec(int pool, std::uint64_t oid,
+                                   std::uint64_t offset, std::uint64_t length,
+                                   const std::vector<int>& acting,
+                                   ReadStrategy strategy, ReadCallback cb) {
   const auto& profile = cluster_.pool(pool).ec_profile;
   const unsigned k = profile.k, m = profile.m;
   if (offset % k != 0) {
     cb(Status::Error(Errc::invalid_argument,
                      "EC read offset must be k-aligned"));
-    return;
+    return 0;
+  }
+
+  // A down primary cannot gather shards: fall back to reading the shards
+  // directly (decoding locally if needed) instead of failing.
+  if (strategy == ReadStrategy::primary && cluster_.osd_down(acting[0])) {
+    count_degraded_read();
+    strategy = ReadStrategy::direct_shards;
   }
 
   if (strategy == ReadStrategy::primary) {
@@ -227,7 +406,7 @@ void RadosClient::read_ec(int pool, std::uint64_t oid, std::uint64_t offset,
     body->ec_k = k;
     body->ec_m = m;
     send(acting[0], std::move(body));
-    return;
+    return op_id;
   }
 
   // direct_shards: fetch any k alive shards in parallel; prefer the k data
@@ -237,7 +416,7 @@ void RadosClient::read_ec(int pool, std::uint64_t oid, std::uint64_t offset,
     if (!cluster_.osd_down(acting[s])) shards.push_back(s);
   if (shards.size() < k) {
     cb(Status::Error(Errc::io_error, "fewer than k shards available"));
-    return;
+    return 0;
   }
 
   const std::uint64_t op_id = next_op_id_++;
@@ -265,6 +444,7 @@ void RadosClient::read_ec(int pool, std::uint64_t oid, std::uint64_t offset,
     body->reply_osd = -1;
     send(acting[s], std::move(body));
   }
+  return op_id;
 }
 
 void RadosClient::on_reply(std::shared_ptr<OpBody> body) {
@@ -315,6 +495,9 @@ void RadosClient::on_reply(std::shared_ptr<OpBody> body) {
     for (unsigned s = 0; s < k; ++s) data.push_back(std::move(*pend.chunks[s]));
     out = rs.assemble(data, pend.length);
   } else {
+    // A data shard was unreachable: this read is being served degraded via
+    // parity reconstruction.
+    count_degraded_read();
     auto decoded = rs.decode(pend.chunks);
     if (!decoded.ok()) {
       auto cb = std::move(pend.rcb);

@@ -37,6 +37,20 @@ enum class ReadStrategy { primary, direct_shards };
 using WriteCallback = std::function<void(Status)>;
 using ReadCallback = std::function<void(Result<std::vector<std::uint8_t>>)>;
 
+/// Per-op deadline + capped exponential-backoff retry. Armed via
+/// set_retry_policy(); without it the client is deadline-free and schedules
+/// no timer events (the seed benches' happy path, bit-identical to before).
+struct RetryPolicy {
+  unsigned max_retries = 4;    // re-issues after the first attempt
+  Nanos base_timeout = ms(2);  // first-attempt deadline
+  double backoff = 2.0;        // timeout/delay multiplier per attempt
+  Nanos max_timeout = ms(50);  // deadline cap
+  Nanos base_delay = us(200);  // backoff pause before a re-issue
+
+  Nanos timeout_for(unsigned attempt) const;
+  Nanos delay_for(unsigned attempt) const;
+};
+
 class RadosClient {
  public:
   explicit RadosClient(Cluster& cluster);
@@ -53,6 +67,19 @@ class RadosClient {
   /// Asynchronously read `length` bytes at `offset`.
   void read(int pool, std::uint64_t oid, std::uint64_t offset,
             std::uint64_t length, ReadStrategy strategy, ReadCallback cb);
+
+  /// Arm per-op deadlines with exponential backoff + capped retries. Each
+  /// attempt recomputes the acting set, so write re-issues land on the new
+  /// primary after a CRUSH reweight. Retryable errors: timed_out, again,
+  /// io_error; the final failure surfaces to the caller unchanged.
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+  const std::optional<RetryPolicy>& retry_policy() const { return retry_; }
+
+  std::uint64_t retries() const { return retries_write_ + retries_read_; }
+  std::uint64_t timeouts() const { return timeouts_; }
+  /// Reads served off the degraded path: non-primary replica, EC primary
+  /// fallback to direct shards, or parity reconstruction.
+  std::uint64_t degraded_reads() const { return degraded_reads_; }
 
   /// CRUSH placement work performed by this client since construction —
   /// the compute the FPGA bucket kernels offload in hardware variants.
@@ -83,24 +110,65 @@ class RadosClient {
     ReadCallback rcb;
   };
 
+  // Retry contexts: one per application op, shared across re-issues.
+  struct WriteAttempt {
+    int pool = 0;
+    std::uint64_t oid = 0;
+    std::uint64_t offset = 0;
+    std::vector<std::uint8_t> data;  // kept across attempts for re-issue
+    WriteStrategy strategy = WriteStrategy::primary_copy;
+    unsigned attempt = 0;
+    WriteCallback cb;
+  };
+  struct ReadAttempt {
+    int pool = 0;
+    std::uint64_t oid = 0;
+    std::uint64_t offset = 0;
+    std::uint64_t length = 0;
+    ReadStrategy strategy = ReadStrategy::primary;
+    unsigned attempt = 0;
+    ReadCallback cb;
+  };
+
   void on_reply(std::shared_ptr<OpBody> body);
   const ec::ReedSolomon& codec(unsigned k, unsigned m);
   void op_started();
   void send(int osd, std::shared_ptr<OpBody> body);
 
-  void write_replicated(int pool, std::uint64_t oid, std::uint64_t offset,
-                        std::vector<std::uint8_t> data,
-                        const std::vector<int>& acting, WriteStrategy strategy,
-                        WriteCallback cb);
-  void write_ec(int pool, std::uint64_t oid, std::uint64_t offset,
-                std::vector<std::uint8_t> data, const std::vector<int>& acting,
-                WriteStrategy strategy, WriteCallback cb);
-  void read_replicated(int pool, std::uint64_t oid, std::uint64_t offset,
-                       std::uint64_t length, const std::vector<int>& acting,
-                       ReadCallback cb);
-  void read_ec(int pool, std::uint64_t oid, std::uint64_t offset,
-               std::uint64_t length, const std::vector<int>& acting,
-               ReadStrategy strategy, ReadCallback cb);
+  void start_write_attempt(std::shared_ptr<WriteAttempt> ctx);
+  void start_read_attempt(std::shared_ptr<ReadAttempt> ctx);
+  /// Deadline for an issued attempt: if the op is still pending when it
+  /// fires, the op is failed with Errc::timed_out (which the retry wrapper
+  /// may turn into a re-issue). No-op once the op completed.
+  void arm_deadline(std::uint64_t op_id, Nanos timeout);
+  void count_degraded_read();
+  void count_retry(bool is_read);
+
+  // Inner dispatchers return the issued op_id (0 when the op failed
+  // synchronously through `cb` and nothing is in flight).
+  std::uint64_t write_replicated(int pool, std::uint64_t oid,
+                                 std::uint64_t offset,
+                                 std::vector<std::uint8_t> data,
+                                 const std::vector<int>& acting,
+                                 WriteStrategy strategy, WriteCallback cb);
+  std::uint64_t write_ec(int pool, std::uint64_t oid, std::uint64_t offset,
+                         std::vector<std::uint8_t> data,
+                         const std::vector<int>& acting,
+                         WriteStrategy strategy, WriteCallback cb);
+  std::uint64_t read_replicated(int pool, std::uint64_t oid,
+                                std::uint64_t offset, std::uint64_t length,
+                                const std::vector<int>& acting,
+                                ReadCallback cb);
+  std::uint64_t read_ec(int pool, std::uint64_t oid, std::uint64_t offset,
+                        std::uint64_t length, const std::vector<int>& acting,
+                        ReadStrategy strategy, ReadCallback cb);
+  std::uint64_t dispatch_write(int pool, std::uint64_t oid,
+                               std::uint64_t offset,
+                               std::vector<std::uint8_t> data,
+                               WriteStrategy strategy, WriteCallback cb);
+  std::uint64_t dispatch_read(int pool, std::uint64_t oid,
+                              std::uint64_t offset, std::uint64_t length,
+                              ReadStrategy strategy, ReadCallback cb);
 
   Cluster& cluster_;
   std::uint64_t next_op_id_ = 1;
@@ -109,6 +177,11 @@ class RadosClient {
   crush::PlacementWork work_;
   std::uint64_t ec_encoded_ = 0;
   std::uint64_t completed_ = 0;
+  std::optional<RetryPolicy> retry_;
+  std::uint64_t retries_write_ = 0;
+  std::uint64_t retries_read_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t degraded_reads_ = 0;
 
   struct MetricHandles {
     Counter* ops_started = nullptr;
@@ -116,6 +189,10 @@ class RadosClient {
     Counter* messages_sent = nullptr;
     Counter* ec_bytes_encoded = nullptr;
     Gauge* inflight = nullptr;
+    Counter* retries_read = nullptr;
+    Counter* retries_write = nullptr;
+    Counter* timeouts = nullptr;
+    Counter* degraded_reads = nullptr;
   };
   MetricHandles metrics_;
 };

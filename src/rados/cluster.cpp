@@ -25,7 +25,15 @@ Cluster::Cluster(sim::Simulator& sim, ClusterConfig config)
           DK_CHECK(body->target_osd >= 0 &&
                    static_cast<std::size_t>(body->target_osd) < osds_.size())
               << "message for OSD " << body->target_osd << " out of range";
-          osds_[static_cast<std::size_t>(body->target_osd)]->handle(body);
+          Osd& target = *osds_[static_cast<std::size_t>(body->target_osd)];
+          if (target.crashed()) {
+            // Crashed process: the TCP connection is dead, the message is
+            // never consumed. The sender's deadline/retry machinery owns
+            // recovery.
+            if (faults_ != nullptr) faults_->count_crash_dropped_message();
+            return;
+          }
+          target.handle(body);
         }));
   }
 
@@ -97,6 +105,43 @@ void Cluster::set_osd_out(int id, bool out) {
   layout_.map.set_device_out(id, out);
 }
 
+void Cluster::crash_osd(int id) {
+  set_osd_down(id, true);
+  osd(id).set_crashed(true);
+  if (faults_ != nullptr) faults_->count_osd_crash();
+}
+
+void Cluster::restart_osd(int id) {
+  osd(id).set_crashed(false);
+  set_osd_down(id, false);
+  set_osd_out(id, false);
+  if (faults_ != nullptr) faults_->count_osd_restart();
+}
+
+void Cluster::arm_faults(sim::FaultInjector& faults) {
+  faults_ = &faults;
+  net_.set_fault_injector(&faults);
+  for (const auto& ev : faults.plan().osd_crashes) {
+    DK_CHECK(ev.osd >= 0 && static_cast<std::size_t>(ev.osd) < osds_.size())
+        << "fault plan crashes OSD " << ev.osd << " out of range";
+    const int id = ev.osd;
+    sim_.schedule_at(ev.crash_at, [this, id] { crash_osd(id); });
+    if (ev.mark_out_after >= 0) {
+      // Monitor grace period, then CRUSH reweight: placement remaps and
+      // write retries land on the new primary. Skipped if the OSD already
+      // restarted (a fast-rejoining OSD is never marked out).
+      sim_.schedule_at(ev.crash_at + ev.mark_out_after, [this, id] {
+        if (osd(id).crashed()) set_osd_out(id, true);
+      });
+    }
+    if (ev.restart_at > 0) {
+      DK_CHECK(ev.restart_at > ev.crash_at)
+          << "OSD " << id << " restart scheduled before its crash";
+      sim_.schedule_at(ev.restart_at, [this, id] { restart_osd(id); });
+    }
+  }
+}
+
 void Cluster::send_from_client(int dst_osd, std::shared_ptr<OpBody> body) {
   body->target_osd = dst_osd;
   const std::uint64_t bytes = op_wire_bytes(*body);
@@ -106,6 +151,12 @@ void Cluster::send_from_client(int dst_osd, std::shared_ptr<OpBody> body) {
 
 void Cluster::send_from_osd(int src_osd, int dst,
                             std::shared_ptr<OpBody> body) {
+  if (osd(src_osd).crashed()) {
+    // An op that was mid-service when the process died cannot send its
+    // reply/ack from beyond the grave.
+    if (faults_ != nullptr) faults_->count_crash_dropped_message();
+    return;
+  }
   const std::uint64_t bytes = op_wire_bytes(*body);
   if (dst < 0) {
     net_.send(net::Message{node_of_osd(src_osd), client_node_, bytes, 0,

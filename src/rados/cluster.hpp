@@ -16,6 +16,7 @@
 #include "net/network.hpp"
 #include "rados/messages.hpp"
 #include "rados/osd.hpp"
+#include "sim/faults.hpp"
 #include "sim/simulator.hpp"
 
 namespace dk::rados {
@@ -86,6 +87,19 @@ class Cluster {
   /// the cluster-resize event that drives DFX reconfiguration in the paper.
   void set_osd_out(int id, bool out);
 
+  /// Arm fault injection: frame loss/delay on the fabric, plus the plan's
+  /// OSD crash/restart schedule (crash -> drop all messages -> monitor
+  /// mark-out after the grace period -> optional restart). Call once, after
+  /// construction; the plan's events are scheduled relative to sim-now.
+  void arm_faults(sim::FaultInjector& faults);
+
+  /// Immediate OSD process crash (down + in-flight state lost); messages to
+  /// and from the OSD are dropped until restart_osd(). Also usable directly
+  /// by tests without a FaultPlan.
+  void crash_osd(int id);
+  /// Bring a crashed OSD back: down/out cleared, placement restored.
+  void restart_osd(int id);
+
   /// Register the client-side handler for reply messages.
   void set_client_handler(std::function<void(std::shared_ptr<OpBody>)> fn) {
     client_handler_ = std::move(fn);
@@ -125,6 +139,7 @@ class Cluster {
   std::vector<bool> down_;
   std::vector<PoolConfig> pools_;
   std::function<void(std::shared_ptr<OpBody>)> client_handler_;
+  sim::FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace dk::rados

@@ -19,6 +19,19 @@ void Osd::attach_metrics(MetricsRegistry& registry, const std::string& prefix) {
   metrics_.write_service = &registry.histogram(prefix + ".write_service");
 }
 
+void Osd::set_crashed(bool crashed) {
+  crashed_ = crashed;
+  if (crashed) {
+    // The process died: every in-flight op and all cache-locality history
+    // is gone. Ops whose acks were pending here stall until the client's
+    // deadline fires and the retry path re-issues them.
+    pending_.clear();
+    pending_reads_.clear();
+    last_read_end_.clear();
+    last_write_end_.clear();
+  }
+}
+
 Nanos Osd::service_time(std::uint64_t bytes, bool is_write,
                         const ObjectKey& key, std::uint64_t offset) {
   auto& last_end = is_write ? last_write_end_ : last_read_end_;

@@ -55,6 +55,13 @@ class Osd {
   /// Handle a delivered protocol message addressed to this OSD.
   void handle(std::shared_ptr<OpBody> body);
 
+  /// Crash / restart the OSD process. Crashing loses all in-flight op state
+  /// (pending acks, shard gathers, cache-locality history) — the durable
+  /// object store survives, like a real OSD restarting on intact media.
+  /// While crashed the cluster drops every message addressed to this OSD.
+  void set_crashed(bool crashed);
+  bool crashed() const { return crashed_; }
+
   /// Sampled service time for an op of `bytes` at (key, offset); queueing
   /// not included. Models two cache effects of the real backend:
   ///   * readahead — a read contiguous with the previous read of the same
@@ -110,6 +117,7 @@ class Osd {
   std::map<std::uint64_t, PendingRead> pending_reads_;
   std::map<std::uint64_t, std::unique_ptr<ec::ReedSolomon>> codecs_;
   std::uint64_t ops_served_ = 0;
+  bool crashed_ = false;
 
   struct MetricHandles {
     Counter* ops = nullptr;

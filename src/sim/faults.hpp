@@ -1,0 +1,157 @@
+// Deterministic, seed-driven fault injection for the whole I/O path.
+//
+// A FaultPlan is a declarative schedule of adverse events — per-link frame
+// loss / delay windows on the simulated fabric, OSD crash/restart events,
+// and QDMA descriptor-fetch / completion-error windows. A FaultInjector
+// consumes the plan and answers cheap per-event queries from the layers
+// that own each failure domain (net::Network, rados::Cluster, and
+// fpga::QdmaEngine); all probabilistic decisions are drawn from dedicated
+// rng.hpp streams seeded by the plan, so a (seed, plan) pair replays
+// bit-exactly — the property the chaos suite (tests/test_faults.cpp) leans
+// on to shrink failures.
+//
+// The injector only decides *that* a fault happens; the surviving behaviour
+// (retry with backoff, degraded EC reads, error CQEs) lives with the layers.
+// Every injection is also reported to the PipelineValidator, whose
+// quiescence check proves no injected fault silently swallowed an I/O.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace dk {
+class PipelineValidator;
+}  // namespace dk
+
+namespace dk::sim {
+
+class Simulator;
+
+/// Frame loss / extra delay on fabric links inside [start, end). `node`
+/// restricts the window to messages whose source or destination is that
+/// network node id (-1 = every link). A "dropped frame" loses the whole
+/// message: the model collapses TCP-segment loss + the absent retransmit
+/// into one event that the client-side retry policy must absorb.
+struct LinkFaultWindow {
+  Nanos start = 0;
+  Nanos end = 0;
+  double drop_prob = 0.0;
+  Nanos extra_delay = 0;
+  int node = -1;
+};
+
+/// OSD process crash at `crash_at`. While crashed the OSD drops every
+/// message addressed to it and loses all in-flight op state (its object
+/// store — the durable media — survives). After `mark_out_after` the
+/// monitor marks it out, CRUSH remaps placement, and client write retries
+/// land on the new primary; < 0 disables the reweight. `restart_at` > 0
+/// brings the OSD back (down + out cleared, like a rejoining Ceph OSD).
+struct OsdCrashEvent {
+  int osd = 0;
+  Nanos crash_at = 0;
+  Nanos restart_at = 0;
+  Nanos mark_out_after = ms(2);
+};
+
+/// QDMA error window: with `fetch_error_prob` the Descriptor Engine aborts
+/// the op at descriptor-fetch time; with `completion_error_prob` the DMA
+/// runs full-length but the Completion Engine writes back an error status.
+struct QdmaFaultWindow {
+  Nanos start = 0;
+  Nanos end = 0;
+  double fetch_error_prob = 0.0;
+  double completion_error_prob = 0.0;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<LinkFaultWindow> links;
+  std::vector<OsdCrashEvent> osd_crashes;
+  std::vector<QdmaFaultWindow> qdma;
+
+  bool enabled() const {
+    return !links.empty() || !osd_crashes.empty() || !qdma.empty();
+  }
+};
+
+struct FaultStats {
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t frames_delayed = 0;
+  std::uint64_t osd_crashes = 0;
+  std::uint64_t osd_restarts = 0;
+  std::uint64_t crash_dropped_msgs = 0;
+  std::uint64_t qdma_fetch_errors = 0;
+  std::uint64_t qdma_completion_errors = 0;
+
+  std::uint64_t total() const {
+    return frames_dropped + frames_delayed + osd_crashes + osd_restarts +
+           crash_dropped_msgs + qdma_fetch_errors + qdma_completion_errors;
+  }
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(Simulator& sim, FaultPlan plan);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultStats& stats() const { return stats_; }
+
+  /// Report each injection to `validator` (fault accounting feeds the
+  /// quiescence rule: injected faults may never leak an I/O).
+  void set_validator(PipelineValidator* validator) { validator_ = validator; }
+
+  // --- fabric hooks (net::Network) --------------------------------------
+  /// True when the message src -> dst is lost on the wire right now. Draws
+  /// from the net stream only while a matching window is active.
+  bool should_drop_frame(std::uint32_t src, std::uint32_t dst);
+  /// Extra forwarding delay (sum of matching active windows) for src -> dst.
+  Nanos link_extra_delay(std::uint32_t src, std::uint32_t dst);
+
+  // --- QDMA hooks (fpga::QdmaEngine) ------------------------------------
+  bool should_fail_descriptor_fetch();
+  bool should_fail_completion();
+
+  // --- OSD crash accounting (rados::Cluster drives the schedule) --------
+  void count_osd_crash();
+  void count_osd_restart();
+  void count_crash_dropped_message();
+
+  /// Publish injection counters under "<prefix>." (frames_dropped,
+  /// frames_delayed, osd_crashes, osd_restarts, crash_dropped_msgs,
+  /// qdma_fetch_errors, qdma_completion_errors).
+  void attach_metrics(MetricsRegistry& registry, const std::string& prefix);
+
+ private:
+  void injected(Counter* metric, std::uint64_t& stat);
+
+  Simulator& sim_;
+  FaultPlan plan_;
+  // Independent streams per failure domain: decisions in one layer never
+  // perturb another layer's sequence, keeping single-domain plans
+  // replayable even when another domain's traffic pattern shifts.
+  Rng net_rng_;
+  Rng qdma_rng_;
+  FaultStats stats_;
+  PipelineValidator* validator_ = nullptr;
+
+  struct MetricHandles {
+    Counter* frames_dropped = nullptr;
+    Counter* frames_delayed = nullptr;
+    Counter* osd_crashes = nullptr;
+    Counter* osd_restarts = nullptr;
+    Counter* crash_dropped_msgs = nullptr;
+    Counter* qdma_fetch_errors = nullptr;
+    Counter* qdma_completion_errors = nullptr;
+  };
+  MetricHandles metrics_;
+};
+
+}  // namespace dk::sim

@@ -106,7 +106,7 @@ TEST(Qdma, H2cDmaTiming) {
   auto id = q.alloc_queue_set(QueueClass::replication);
   ASSERT_TRUE(id.ok());
   Nanos done_at = -1;
-  ASSERT_TRUE(q.h2c(*id, 4096, [&] { done_at = sim.now(); }).ok());
+  ASSERT_TRUE(q.h2c(*id, 4096, [&](Status) { done_at = sim.now(); }).ok());
   sim.run();
   // doorbell(0.8us) + (4096+128)B @ 12 GB/s (~0.35us) + completion(0.6us).
   EXPECT_EQ(done_at, q.idle_latency(4096));
@@ -121,7 +121,7 @@ TEST(Qdma, DescriptorRingsTrackOps) {
   QdmaEngine q(sim);
   auto id = q.alloc_queue_set(QueueClass::erasure_coding);
   ASSERT_TRUE(id.ok());
-  ASSERT_TRUE(q.c2h(*id, 1024, [] {}).ok());
+  ASSERT_TRUE(q.c2h(*id, 1024, [](Status) {}).ok());
   EXPECT_EQ(q.queue_set(*id)->c2h_pending(), 1u);
   sim.run();
   EXPECT_EQ(q.queue_set(*id)->c2h_pending(), 0u);
@@ -136,7 +136,7 @@ TEST(Qdma, ConcurrentDmasSharePcieBandwidth) {
   ASSERT_TRUE(id.ok());
   std::vector<Nanos> done;
   for (int i = 0; i < 2; ++i)
-    ASSERT_TRUE(q.h2c(*id, 1 * MiB, [&] { done.push_back(sim.now()); }).ok());
+    ASSERT_TRUE(q.h2c(*id, 1 * MiB, [&](Status) { done.push_back(sim.now()); }).ok());
   sim.run();
   ASSERT_EQ(done.size(), 2u);
   // Second transfer serializes behind the first on the PCIe channel.
@@ -152,12 +152,12 @@ TEST(Qdma, DescriptorRamBudgetRejectsOverflow) {
   ASSERT_TRUE(id.ok());
   unsigned accepted = 0;
   for (std::uint64_t i = 0; i < kMaxOutstandingDescriptors + 10; ++i)
-    if (q.h2c(*id, 64, [] {}).ok()) ++accepted;
+    if (q.h2c(*id, 64, [](Status) {}).ok()) ++accepted;
   EXPECT_EQ(accepted, kMaxOutstandingDescriptors);
   EXPECT_GT(q.stats().ring_full_rejects, 0u);
   sim.run();
   // Budget frees after completion.
-  EXPECT_TRUE(q.h2c(*id, 64, [] {}).ok());
+  EXPECT_TRUE(q.h2c(*id, 64, [](Status) {}).ok());
   sim.run();
 }
 

@@ -175,6 +175,65 @@ TEST(PaperClaims, Fig4_EcSwThroughputGain) {
   EXPECT_LT(wr_d3 / wr_d2, 3.5);
 }
 
+// --- Faults-off golden regression -------------------------------------------
+//
+// With FrameworkConfig::fault_plan left empty the injector is never built,
+// no deadline timers are armed, and the event sequence must stay
+// event-for-event identical to a build without the fault subsystem. These
+// exact values were captured from the seed benches before the subsystem
+// landed; any drift here means the faults-off path is no longer inert.
+
+Nanos golden_latency(VariantKind v, PoolMode p, RwMode mode) {
+  sim::Simulator sim;
+  FrameworkConfig cfg;
+  cfg.variant = v;
+  cfg.pool_mode = p;
+  cfg.image_size = 64 * MiB;
+  core::Framework fw(sim, cfg);
+  return workload::probe_latency(fw, mode, 4096, 60);
+}
+
+TEST(GoldenRegression, TableII_RepresentativeCellsBitExact) {
+  EXPECT_EQ(golden_latency(VariantKind::deliba2, PoolMode::replicated,
+                           RwMode::seq_read), 74173);
+  EXPECT_EQ(golden_latency(VariantKind::deliba2, PoolMode::replicated,
+                           RwMode::seq_write), 93395);
+  EXPECT_EQ(golden_latency(VariantKind::deliba2, PoolMode::replicated,
+                           RwMode::rand_read), 95665);
+  EXPECT_EQ(golden_latency(VariantKind::deliba2, PoolMode::replicated,
+                           RwMode::rand_write), 98314);
+  EXPECT_EQ(golden_latency(VariantKind::delibak, PoolMode::replicated,
+                           RwMode::seq_read), 45298);
+  EXPECT_EQ(golden_latency(VariantKind::delibak, PoolMode::replicated,
+                           RwMode::seq_write), 48517);
+  EXPECT_EQ(golden_latency(VariantKind::delibak, PoolMode::replicated,
+                           RwMode::rand_read), 66790);
+  EXPECT_EQ(golden_latency(VariantKind::delibak, PoolMode::replicated,
+                           RwMode::rand_write), 53523);
+  EXPECT_EQ(golden_latency(VariantKind::delibak, PoolMode::erasure,
+                           RwMode::rand_read), 66236);
+}
+
+TEST(GoldenRegression, Fig7_RandWrite4kCellBitExact) {
+  sim::Simulator sim;
+  FrameworkConfig cfg;
+  cfg.variant = VariantKind::delibak;
+  cfg.pool_mode = PoolMode::replicated;
+  cfg.image_size = 128 * MiB;
+  core::Framework fw(sim, cfg);
+  workload::FioEngine engine(fw);
+  FioJobSpec spec;
+  spec.rw = RwMode::rand_write;
+  spec.bs = 4 * KiB;
+  spec.iodepth = 32;
+  spec.runtime = ms(300);
+  spec.ramp = ms(40);
+  spec.seed = 11;
+  const workload::FioResult r = engine.run(spec);
+  EXPECT_EQ(r.ops, 8915u);
+  EXPECT_EQ(r.bytes, 36515840u);
+}
+
 // --- Table I / III / power ---------------------------------------------------
 
 TEST(PaperClaims, TableI_HwKernelsBeatSoftware) {

@@ -169,8 +169,8 @@ TEST(QdmaProperty, DescriptorBudgetConservedUnderStress) {
     for (unsigned i = 0; i < burst; ++i) {
       const bool h2c = rng.chance(0.5);
       const std::uint64_t bytes = 64 + rng.below(8192);
-      const Status s = h2c ? q.h2c(*id, bytes, [&] { ++completed; })
-                           : q.c2h(*id, bytes, [&] { ++completed; });
+      const Status s = h2c ? q.h2c(*id, bytes, [&](Status) { ++completed; })
+                           : q.c2h(*id, bytes, [&](Status) { ++completed; });
       if (s.ok()) ++accepted;
     }
     sim.run();  // drain the burst
@@ -178,7 +178,7 @@ TEST(QdmaProperty, DescriptorBudgetConservedUnderStress) {
   }
   // After draining, the full budget must be available again.
   for (unsigned i = 0; i < fpga::kMaxOutstandingDescriptors; ++i)
-    ASSERT_TRUE(q.h2c(*id, 64, [] {}).ok()) << i;
+    ASSERT_TRUE(q.h2c(*id, 64, [](Status) {}).ok()) << i;
   sim.run();
 }
 
