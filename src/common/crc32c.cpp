@@ -1,0 +1,52 @@
+#include "common/crc32c.hpp"
+
+#include <array>
+
+namespace dk {
+namespace {
+
+// Reflected table for the Castagnoli polynomial. Built once at static-init
+// time; constexpr so the compiler may fold it into .rodata.
+constexpr std::array<std::uint32_t, 256> make_table() {
+  // Reflected form of 0x1EDC6F41.
+  constexpr std::uint32_t kPolyReflected = 0x82f63b78u;
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kPolyReflected : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data, std::uint32_t crc) {
+  std::uint32_t state = crc ^ 0xffffffffu;
+  for (const std::uint8_t byte : data) {
+    state = kTable[(state ^ byte) & 0xffu] ^ (state >> 8);
+  }
+  return state ^ 0xffffffffu;
+}
+
+std::vector<std::uint32_t> block_checksums(std::span<const std::uint8_t> data,
+                                           std::uint64_t base) {
+  std::vector<std::uint32_t> out;
+  std::uint64_t pos = 0;
+  while (pos < data.size()) {
+    const std::uint64_t block_end =
+        (base + pos) / kChecksumBlockBytes * kChecksumBlockBytes +
+        kChecksumBlockBytes;
+    const std::uint64_t take =
+        std::min<std::uint64_t>(data.size() - pos, block_end - (base + pos));
+    out.push_back(crc32c(data.subspan(pos, take)));
+    pos += take;
+  }
+  return out;
+}
+
+}  // namespace dk

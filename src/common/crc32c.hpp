@@ -1,0 +1,34 @@
+#pragma once
+// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected) — the checksum iSCSI
+// (RFC 3720), Ceph BlueStore, and btrfs use for data blocks. Table-driven,
+// one table, byte-at-a-time: this is a behavioural model, not a throughput
+// kernel (ROADMAP tracks offloading it onto the FPGA model).
+//
+// The integrity subsystem checksums payloads in fixed-size blocks so a
+// corrupted object localises to a block instead of poisoning the whole read.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dk {
+
+// Block granularity for all per-object checksum metadata (Ceph's default
+// csum block size).
+inline constexpr std::uint64_t kChecksumBlockBytes = 4096;
+
+// CRC-32C over `data`. `crc` chains a previous return value so a buffer can
+// be checksummed in pieces: crc32c(b, crc32c(a)) == crc32c(ab). Init/xorout
+// (0xffffffff) are handled internally; pass the previous *result*, not raw
+// register state.
+std::uint32_t crc32c(std::span<const std::uint8_t> data,
+                     std::uint32_t crc = 0);
+
+// Per-block checksums of `data` as if it started at byte `base` of an
+// object: the first block may be a partial one ending at the next
+// kChecksumBlockBytes boundary of `base + i`. With an aligned base this is
+// simply one CRC per 4 kB chunk (last chunk may be short).
+std::vector<std::uint32_t> block_checksums(std::span<const std::uint8_t> data,
+                                           std::uint64_t base = 0);
+
+}  // namespace dk

@@ -24,6 +24,7 @@ std::string_view PipelineValidator::violation_name(Violation kind) {
     case Violation::trace_order: return "trace_order";
     case Violation::quiescence: return "quiescence";
     case Violation::io_leak: return "io_leak";
+    case Violation::corruption_leak: return "corruption_leak";
   }
   return "unknown";
 }
@@ -264,6 +265,25 @@ void PipelineValidator::on_fault_injected() {
   ++faults_injected_;
 }
 
+// --- corruption resolution (integrity mode) ---------------------------------
+
+void PipelineValidator::on_corruption_detected() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  ++corruptions_detected_;
+}
+
+void PipelineValidator::on_corruption_resolved() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  ++corruptions_resolved_;
+  if (corruptions_resolved_ > corruptions_detected_) {
+    std::ostringstream os;
+    os << "corruption resolved " << corruptions_resolved_
+       << " time(s) but only detected " << corruptions_detected_
+       << " time(s)";
+    violation(Violation::corruption_leak, __LINE__, os.str());
+  }
+}
+
 // --- teardown ---------------------------------------------------------------
 
 std::uint64_t PipelineValidator::verify_quiescent() {
@@ -296,6 +316,14 @@ std::uint64_t PipelineValidator::verify_quiescent() {
     os << ios_inflight_.size() << " I/O(s) neither completed nor errored ("
        << faults_injected_ << " fault(s) injected this run)";
     violation(Violation::io_leak, __LINE__, os.str());
+  }
+  if (corruptions_detected_ != corruptions_resolved_) {
+    std::ostringstream os;
+    os << corruptions_detected_ - corruptions_resolved_
+       << " detected corruption(s) neither repaired nor surfaced as "
+       << "Errc::corrupted (" << corruptions_detected_ << " detected, "
+       << corruptions_resolved_ << " resolved)";
+    violation(Violation::corruption_leak, __LINE__, os.str());
   }
   return total_ - before;
 }
@@ -347,6 +375,16 @@ std::uint64_t PipelineValidator::io_inflight() const {
 std::uint64_t PipelineValidator::faults_injected() const {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   return faults_injected_;
+}
+
+std::uint64_t PipelineValidator::corruptions_detected() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return corruptions_detected_;
+}
+
+std::uint64_t PipelineValidator::corruptions_resolved() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return corruptions_resolved_;
 }
 
 }  // namespace dk

@@ -54,8 +54,9 @@ class PipelineValidator {
     trace_order,        // StageTrace hops non-monotonic or endpoint missing
     quiescence,         // rings not drained / balanced at teardown
     io_leak,            // an I/O neither completed nor errored (fault lost)
+    corruption_leak,    // a detected corruption neither repaired nor errored
   };
-  static constexpr std::size_t kViolationKinds = 12;
+  static constexpr std::size_t kViolationKinds = 13;
 
   static std::string_view violation_name(Violation kind);
 
@@ -96,6 +97,16 @@ class PipelineValidator {
   void on_io_resolved(std::uint64_t token);
   void on_fault_injected();
 
+  // --- corruption resolution (integrity mode) ---------------------------
+  // Every checksum mismatch an integrity-armed layer detects reports
+  // on_corruption_detected() once per affected operation, and MUST later
+  // report on_corruption_resolved() when that operation either delivers
+  // repaired data or surfaces Errc::corrupted to its caller.
+  // verify_quiescent() flags any imbalance as corruption_leak: a detected
+  // corruption that neither repaired nor errored.
+  void on_corruption_detected();
+  void on_corruption_resolved();
+
   /// Teardown accounting: every ring drained and balanced, zero tags held,
   /// zero descriptors outstanding. Returns the number of violations found
   /// by this call (0 when the pipeline wound down cleanly).
@@ -113,6 +124,8 @@ class PipelineValidator {
   std::uint64_t traces_audited() const { return traces_audited_; }
   std::uint64_t io_inflight() const;
   std::uint64_t faults_injected() const;
+  std::uint64_t corruptions_detected() const;
+  std::uint64_t corruptions_resolved() const;
 
  private:
   struct RingState {
@@ -145,6 +158,8 @@ class PipelineValidator {
   std::uint64_t descriptors_completed_ = 0;
   std::uint64_t ios_resolved_ = 0;
   std::uint64_t faults_injected_ = 0;
+  std::uint64_t corruptions_detected_ = 0;
+  std::uint64_t corruptions_resolved_ = 0;
   std::uint64_t traces_audited_ = 0;
   std::uint64_t counts_[kViolationKinds] = {};
   std::uint64_t total_ = 0;

@@ -1,6 +1,7 @@
 #include "core/framework.hpp"
 
 #include "common/check.hpp"
+#include "common/crc32c.hpp"
 
 namespace dk::core {
 
@@ -46,6 +47,7 @@ class Framework::PipelineDriver final : public blk::Driver {
 Framework::Framework(sim::Simulator& sim, FrameworkConfig config)
     : sim_(sim), config_(config), traits_(variant_traits(config.variant)) {
   config_.cluster.seed = config_.seed;
+  config_.cluster.integrity = config_.integrity;
   cluster_ = std::make_unique<rados::Cluster>(sim_, config_.cluster);
   client_ = std::make_unique<rados::RadosClient>(*cluster_);
 
@@ -56,6 +58,10 @@ Framework::Framework(sim::Simulator& sim, FrameworkConfig config)
     config_.cluster.crush.host_alg = config_.placement_alg;
     cluster_ = std::make_unique<rados::Cluster>(sim_, config_.cluster);
     client_ = std::make_unique<rados::RadosClient>(*cluster_);
+  }
+  if (config_.integrity) {
+    client_->set_integrity(true);
+    client_->set_validator(&validator_);
   }
 
   pool_ = config_.pool_mode == PoolMode::replicated
@@ -107,6 +113,15 @@ Framework::Framework(sim::Simulator& sim, FrameworkConfig config)
         [this](const blk::Request& r, std::function<void(std::int32_t)> done) {
           run_remote(r, std::move(done));
         });
+    // The QDMA model is timing-only until the driver can name the live
+    // payload buffer; with this hook an armed DmaCorruptionWindow flips
+    // real bytes in flight.
+    uifd_->set_payload_source(
+        [this](std::uint64_t user_data) -> std::span<std::uint8_t> {
+          auto it = inflight_.find(user_data);
+          if (it == inflight_.end()) return {};
+          return {it->second.data.data(), it->second.data.size()};
+        });
     mq_ = std::make_unique<blk::MqBlockLayer>(mqc, *uifd_);
   } else {
     driver_ = std::make_unique<PipelineDriver>(*this);
@@ -148,6 +163,13 @@ void Framework::wire_metrics() {
   if (uifd_) uifd_->attach_metrics(metrics_, "uifd");
   if (fpga_) fpga_->qdma().attach_metrics(metrics_, "qdma");
   if (faults_) faults_->attach_metrics(metrics_, "fault.injected");
+  // integrity.* counters exist only in integrity-armed stacks so faults-off
+  // metric dumps stay byte-identical. checksum_failures is shared with the
+  // RADOS client (find-or-create on the same name).
+  if (config_.integrity) {
+    m_checksum_failures_ = &metrics_.counter("integrity.checksum_failures");
+    cluster_->attach_metrics(metrics_, "integrity");
+  }
   for (std::size_t i = 0; i < cluster_->osd_count(); ++i)
     cluster_->osd(static_cast<int>(i)).attach_metrics(metrics_, "osd");
 }
@@ -301,6 +323,9 @@ void Framework::write(unsigned job, std::uint64_t offset,
   ctx.length = data.size();
   ctx.data = std::move(data);
   ctx.wcb = std::move(cb);
+  // Checksum the payload at the API boundary: everything between here and
+  // the RADOS submit (including the H2C DMA) is covered.
+  if (config_.integrity) ctx.dma_checksums = block_checksums(ctx.data);
   ctx.trace.mark(Stage::submit, sim_.now());
   ++stats_.writes;
   stats_.bytes_written += ctx.length;
@@ -441,6 +466,16 @@ void Framework::run_remote(const blk::Request& request,
     IoCtx& ctx = it->second;
     ctx.trace.mark(Stage::rados_issue, sim_.now());
     if (!is_read) {
+      if (config_.integrity && block_checksums(ctx.data) != ctx.dma_checksums) {
+        // The H2C DMA corrupted the payload in flight: fail the write
+        // before the bad bytes reach the cluster. Not retryable through the
+        // RADOS layer — the buffer itself is wrong.
+        ctx.corruption_detected = true;
+        validator_.on_corruption_detected();
+        if (m_checksum_failures_) m_checksum_failures_->inc();
+        done(-static_cast<std::int32_t>(Errc::corrupted));
+        return;
+      }
       image_->aio_write(ctx.offset, std::move(ctx.data), write_strategy(),
                         std::move(done));
     } else {
@@ -452,6 +487,11 @@ void Framework::run_remote(const blk::Request& request,
             if (rit == inflight_.end()) return;
             if (r.ok()) {
               rit->second.data = std::move(*r);
+              // Cover the delivered bytes across the C2H DMA hop;
+              // finish_io() re-verifies on the host side.
+              if (config_.integrity)
+                rit->second.dma_checksums =
+                    block_checksums(rit->second.data);
               done(static_cast<std::int32_t>(rit->second.data.size()));
             } else {
               rit->second.read_error = r.status();
@@ -469,6 +509,18 @@ void Framework::finish_io(std::uint64_t token, std::int32_t res) {
   inflight_.erase(it);
   validator_.on_io_resolved(token);
 
+  if (config_.integrity && ctx.is_read && res >= 0 &&
+      block_checksums(ctx.data) != ctx.dma_checksums) {
+    // The C2H DMA corrupted the payload after the cluster verified it:
+    // surface Errc::corrupted rather than hand wrong bytes to the caller.
+    ctx.corruption_detected = true;
+    validator_.on_corruption_detected();
+    if (m_checksum_failures_) m_checksum_failures_->inc();
+    ctx.read_error =
+        Status::Error(Errc::corrupted, "payload corrupted in C2H DMA");
+    res = -static_cast<std::int32_t>(Errc::corrupted);
+  }
+
   ctx.trace.mark(Stage::complete, sim_.now());
   validator_.on_trace_complete(ctx.trace);
   trace_collector_.collect(ctx.trace);
@@ -476,6 +528,9 @@ void Framework::finish_io(std::uint64_t token, std::int32_t res) {
   m_completions_->inc();
   if (res < 0) m_errors_->inc();
   m_inflight_->sub();
+  // However the op ended, a corruption this layer detected is now resolved:
+  // the caller got an error, never the wrong bytes.
+  if (ctx.corruption_detected) validator_.on_corruption_resolved();
 
   // Post + reap the CQE so ring statistics reflect reality.
   if (ctx.ring_complete) {

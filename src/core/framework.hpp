@@ -70,6 +70,15 @@ struct FrameworkConfig {
   /// set explicitly, or left empty with fault_plan enabled, the plan's
   /// default policy is armed so injected faults are survivable.
   std::optional<rados::RetryPolicy> retry_policy;
+
+  /// End-to-end data integrity: per-4kB CRC32C checksums at client write
+  /// submission, stored per-object on the OSDs, verified at OSD read and
+  /// again on client receive; payload checksum cover across the QDMA hop;
+  /// checksum mismatches trigger read-repair, torn writes replay from the
+  /// per-OSD write-intent journal. Default off: no checksums are computed,
+  /// no integrity.* metrics registered, and every faults-off bench output
+  /// stays byte-identical to builds without this subsystem.
+  bool integrity = false;
 };
 
 struct FrameworkStats {
@@ -150,6 +159,11 @@ class Framework {
     std::uint64_t offset = 0;
     std::uint64_t length = 0;
     std::vector<std::uint8_t> data;       // write payload / read result
+    // Integrity mode: checksum cover for the payload's QDMA hop. Writes
+    // checksum at submit and verify after H2C; reads checksum at RADOS
+    // delivery and verify after C2H.
+    std::vector<std::uint32_t> dma_checksums;
+    bool corruption_detected = false;
     WriteDoneFn wcb;
     ReadDoneFn rcb;
     Status read_error;
@@ -187,6 +201,7 @@ class Framework {
   Counter* m_completions_ = nullptr;
   Counter* m_errors_ = nullptr;
   Gauge* m_inflight_ = nullptr;
+  Counter* m_checksum_failures_ = nullptr;  // integrity mode only
 
   std::unique_ptr<rados::Cluster> cluster_;
   std::unique_ptr<rados::RadosClient> client_;

@@ -86,7 +86,7 @@ void QdmaEngine::complete_descriptor(unsigned id, bool h2c_dir,
 }
 
 Status QdmaEngine::dma(unsigned id, std::uint64_t bytes, bool h2c_dir,
-                       DmaCallback done) {
+                       DmaCallback done, std::span<std::uint8_t> payload) {
   QueueSet* qs = queue_set(id);
   if (!qs) return Status::Error(Errc::not_found, "no such queue set");
   if (outstanding_descriptors_ >= kMaxOutstandingDescriptors) {
@@ -132,7 +132,7 @@ Status QdmaEngine::dma(unsigned id, std::uint64_t bytes, bool h2c_dir,
   // Doorbell + descriptor fetch (RQ + DE), then PCIe serialization of the
   // descriptor + payload, then the H2C/C2H engine slot, then CE writeback.
   sim_.schedule_after(config_.doorbell_latency, [this, id, bytes, h2c_dir,
-                                                 dma_start, seq,
+                                                 dma_start, seq, payload,
                                                  done = std::move(done)]() mutable {
     ++stats_.descriptors_fetched;
     if (validator_) validator_->on_descriptor_fetched(seq);
@@ -151,18 +151,25 @@ Status QdmaEngine::dma(unsigned id, std::uint64_t bytes, bool h2c_dir,
       return;
     }
     pcie_.transfer(bytes + kDescriptorBytes, [this, id, h2c_dir, dma_start,
-                                              seq,
+                                              seq, payload,
                                               done = std::move(done)]() mutable {
       auto& engine = h2c_dir ? h2c_engine_ : c2h_engine_;
       engine.submit(config_.completion_latency, [this, id, h2c_dir, dma_start,
-                                                 seq, done = std::move(done)] {
+                                                 seq, payload,
+                                                 done = std::move(done)] {
         complete_descriptor(id, h2c_dir, seq);
         // Completion error: the DMA ran full-length but the CE flags it bad
         // (e.g. reorder-buffer parity); the host must treat it as failed.
         const bool ce_error = faults_ && faults_->should_fail_completion();
-        if (!ce_error && metrics_.h2c_latency) {
-          (h2c_dir ? metrics_.h2c_latency : metrics_.c2h_latency)
-              ->record(sim_.now() - dma_start);
+        if (!ce_error) {
+          // A DMA the CE calls good may still have flipped payload bits in
+          // the reorder buffer (DmaCorruptionWindow): silent corruption that
+          // only end-to-end checksums can surface.
+          if (faults_) faults_->maybe_corrupt_dma(payload);
+          if (metrics_.h2c_latency) {
+            (h2c_dir ? metrics_.h2c_latency : metrics_.c2h_latency)
+                ->record(sim_.now() - dma_start);
+          }
         }
         if (done) {
           done(ce_error
@@ -175,12 +182,14 @@ Status QdmaEngine::dma(unsigned id, std::uint64_t bytes, bool h2c_dir,
   return Status::Ok();
 }
 
-Status QdmaEngine::h2c(unsigned id, std::uint64_t bytes, DmaCallback done) {
-  return dma(id, bytes, /*h2c_dir=*/true, std::move(done));
+Status QdmaEngine::h2c(unsigned id, std::uint64_t bytes, DmaCallback done,
+                       std::span<std::uint8_t> payload) {
+  return dma(id, bytes, /*h2c_dir=*/true, std::move(done), payload);
 }
 
-Status QdmaEngine::c2h(unsigned id, std::uint64_t bytes, DmaCallback done) {
-  return dma(id, bytes, /*h2c_dir=*/false, std::move(done));
+Status QdmaEngine::c2h(unsigned id, std::uint64_t bytes, DmaCallback done,
+                       std::span<std::uint8_t> payload) {
+  return dma(id, bytes, /*h2c_dir=*/false, std::move(done), payload);
 }
 
 }  // namespace dk::fpga

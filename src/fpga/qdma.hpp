@@ -20,6 +20,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/metrics.hpp"
@@ -137,11 +138,17 @@ class QdmaEngine {
 
   /// Host-to-card DMA of `bytes` on queue `id` (descriptor fetch + PCIe
   /// serialization + engine); `done` fires at completion-write time with
-  /// the DMA status.
-  Status h2c(unsigned id, std::uint64_t bytes, DmaCallback done);
+  /// the DMA status. `payload`, when non-empty, is the live data buffer the
+  /// transfer moves: an armed DmaCorruptionWindow may flip bits in it on
+  /// the way through while the CE still reports success (silent corruption
+  /// — only end-to-end checksums can catch it). The span must stay valid
+  /// until `done` fires.
+  Status h2c(unsigned id, std::uint64_t bytes, DmaCallback done,
+             std::span<std::uint8_t> payload = {});
 
   /// Card-to-host DMA.
-  Status c2h(unsigned id, std::uint64_t bytes, DmaCallback done);
+  Status c2h(unsigned id, std::uint64_t bytes, DmaCallback done,
+             std::span<std::uint8_t> payload = {});
 
   /// Arm descriptor-fetch / completion error injection (nullptr detaches).
   /// Errored descriptors still complete their lifecycle (consumed + error
@@ -164,7 +171,7 @@ class QdmaEngine {
 
  private:
   Status dma(unsigned id, std::uint64_t bytes, bool h2c_dir,
-             DmaCallback done);
+             DmaCallback done, std::span<std::uint8_t> payload);
   /// CE-side descriptor retirement shared by the success and error paths:
   /// consume the ring descriptor, post the completion entry, release the
   /// UltraRAM slot, and close the validator lifecycle.

@@ -2,17 +2,9 @@
 
 #include <algorithm>
 
-namespace dk::fpga {
+#include "common/crc32c.hpp"
 
-std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
-  std::uint64_t sum = 0;
-  std::size_t i = 0;
-  for (; i + 1 < data.size(); i += 2)
-    sum += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
-  if (i < data.size()) sum += static_cast<std::uint32_t>(data[i]) << 8;
-  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
-  return static_cast<std::uint16_t>(~sum & 0xffff);
-}
+namespace dk::fpga {
 
 TcpIpOffload::TcpIpOffload(TcpIpConfig config) : config_(config) {}
 
@@ -28,7 +20,7 @@ std::vector<Segment> TcpIpOffload::segment(
     s.seq = seq + static_cast<std::uint32_t>(off);
     s.payload.assign(payload.begin() + static_cast<std::ptrdiff_t>(off),
                      payload.begin() + static_cast<std::ptrdiff_t>(off + n));
-    s.checksum = internet_checksum(s.payload);
+    s.checksum = crc32c(s.payload);
     out.push_back(std::move(s));
     off += n;
     ++tx_segments_;
@@ -45,8 +37,8 @@ Result<std::vector<std::uint8_t>> TcpIpOffload::reassemble(
   for (auto& s : segments) {
     if (s.seq != next)
       return Status::Error(Errc::corrupted, "sequence gap in RX stream");
-    if (internet_checksum(s.payload) != s.checksum)
-      return Status::Error(Errc::corrupted, "TCP checksum mismatch");
+    if (crc32c(s.payload) != s.checksum)
+      return Status::Error(Errc::corrupted, "segment CRC32C mismatch");
     out.insert(out.end(), s.payload.begin(), s.payload.end());
     next += static_cast<std::uint32_t>(s.payload.size());
   }

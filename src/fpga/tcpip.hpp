@@ -4,8 +4,8 @@
 // Verilog TX/RX pipelines; the CMAC (100G-capable MAC used at 10G) runs at
 // 260 MHz. This model is functional + timed:
 //   * functional: TCP-style segmentation of a payload into MTU-bounded
-//     segments with sequence numbers and Internet checksums, and in-order
-//     reassembly with checksum verification on RX;
+//     segments with sequence numbers and a CRC32C payload digest, and
+//     in-order reassembly with checksum verification on RX;
 //   * timed: pipeline latency per packet = fixed header-processing cycles
 //     plus one cycle per 64-byte datapath beat, at the CMAC clock.
 // Frame-size limits follow the paper: 64-byte minimum packet, maximum
@@ -31,15 +31,16 @@ struct TcpIpConfig {
 constexpr unsigned kMinPacketBytes = 64;
 constexpr unsigned kTcpIpHeaderBytes = 54;  // Eth(14) + IP(20) + TCP(20)
 
-/// One TCP segment produced by the TX pipeline.
+/// One TCP segment produced by the TX pipeline. `checksum` is a CRC32C over
+/// the payload — the same digest the storage stack uses end-to-end (iSCSI
+/// chose CRC32C over the Internet checksum for exactly this detection
+/// strength). The per-header RFC 1071 sums live inside the 54-byte header
+/// budget, which this model sizes but does not materialize byte-wise.
 struct Segment {
   std::uint32_t seq = 0;
-  std::uint16_t checksum = 0;
+  std::uint32_t checksum = 0;
   std::vector<std::uint8_t> payload;
 };
-
-/// RFC 1071 Internet checksum over a byte range.
-std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
 
 class TcpIpOffload {
  public:

@@ -34,24 +34,27 @@ void UifdDriver::attach_metrics(MetricsRegistry& registry,
 }
 
 void UifdDriver::dma_with_retry(unsigned qs, std::uint64_t bytes, bool h2c_dir,
+                                std::span<std::uint8_t> payload,
                                 unsigned attempt,
                                 std::function<void(Status)> done) {
   constexpr unsigned kMaxDmaAttempts = 3;
   // Shared so the sync-reject path below can still reach the callback after
   // it was moved into the completion closure.
   auto done_sp = std::make_shared<std::function<void(Status)>>(std::move(done));
-  auto on_dma = [this, qs, bytes, h2c_dir, attempt, done_sp](Status s) {
+  auto on_dma = [this, qs, bytes, h2c_dir, payload, attempt,
+                 done_sp](Status s) {
     if (s.ok() || attempt + 1 >= kMaxDmaAttempts) {
       (*done_sp)(std::move(s));
       return;
     }
     ++stats_.dma_retries;
     if (metrics_.dma_retries) metrics_.dma_retries->inc();
-    dma_with_retry(qs, bytes, h2c_dir, attempt + 1, std::move(*done_sp));
+    dma_with_retry(qs, bytes, h2c_dir, payload, attempt + 1,
+                   std::move(*done_sp));
   };
   const Status issued =
-      h2c_dir ? device_.qdma().h2c(qs, bytes, std::move(on_dma))
-              : device_.qdma().c2h(qs, bytes, std::move(on_dma));
+      h2c_dir ? device_.qdma().h2c(qs, bytes, std::move(on_dma), payload)
+              : device_.qdma().c2h(qs, bytes, std::move(on_dma), payload);
   if (!issued.ok()) (*done_sp)(issued);
 }
 
@@ -79,7 +82,8 @@ void UifdDriver::queue_rq(blk::Request request) {
     }
     // Host-to-card payload DMA (re-driven on injected DMA errors), then the
     // storage-side pipeline.
-    dma_with_retry(qs, req->len, /*h2c_dir=*/true, 0, [this, req](Status s) {
+    dma_with_retry(qs, req->len, /*h2c_dir=*/true, payload_for(req->user_data),
+                   0, [this, req](Status s) {
       if (!s.ok()) {
         ++stats_.errors;
         req->complete(-static_cast<std::int32_t>(s.code()));
@@ -104,7 +108,8 @@ void UifdDriver::queue_rq(blk::Request request) {
     }
     stats_.c2h_bytes += req->len;
     if (metrics_.c2h_bytes) metrics_.c2h_bytes->inc(req->len);
-    dma_with_retry(qs, req->len, /*h2c_dir=*/false, 0,
+    dma_with_retry(qs, req->len, /*h2c_dir=*/false,
+                   payload_for(req->user_data), 0,
                    [this, req, res](Status s) {
                      if (!s.ok()) {
                        ++stats_.errors;

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "blk/mq.hpp"
@@ -44,6 +45,11 @@ struct UifdStats {
 using RemoteIoFn =
     std::function<void(const blk::Request&, std::function<void(std::int32_t)>)>;
 
+/// Maps a request's user_data to its live payload buffer so the QDMA
+/// transfer moves (and may corrupt) the real bytes. Empty span = no buffer.
+using PayloadSourceFn =
+    std::function<std::span<std::uint8_t>(std::uint64_t user_data)>;
+
 class UifdDriver final : public blk::Driver {
  public:
   UifdDriver(fpga::FpgaDevice& device, UifdConfig config, RemoteIoFn remote);
@@ -55,6 +61,14 @@ class UifdDriver final : public blk::Driver {
   /// blk::Driver: writes DMA host->card first, then run remotely; reads run
   /// remotely first, then DMA card->host.
   void queue_rq(blk::Request request) override;
+
+  /// Wire the payload buffers into the DMA path. Without this hook the QDMA
+  /// model stays timing-only (descriptors carry no data), exactly as before;
+  /// with it, integrity-armed stacks expose the bytes a DmaCorruptionWindow
+  /// flips in flight.
+  void set_payload_source(PayloadSourceFn fn) {
+    payload_source_ = std::move(fn);
+  }
 
   /// Publish driver activity under "<prefix>." (writes/reads/h2c_bytes/
   /// c2h_bytes/errors counters plus an in-flight gauge).
@@ -70,11 +84,18 @@ class UifdDriver final : public blk::Driver {
   /// cap. Synchronous rejects (ring full) are NOT retried here — that would
   /// spin at the same sim instant; backpressure belongs to the submitter.
   void dma_with_retry(unsigned qs, std::uint64_t bytes, bool h2c_dir,
-                      unsigned attempt, std::function<void(Status)> done);
+                      std::span<std::uint8_t> payload, unsigned attempt,
+                      std::function<void(Status)> done);
+
+  std::span<std::uint8_t> payload_for(std::uint64_t user_data) const {
+    return payload_source_ ? payload_source_(user_data)
+                           : std::span<std::uint8_t>{};
+  }
 
   fpga::FpgaDevice& device_;
   UifdConfig config_;
   RemoteIoFn remote_;
+  PayloadSourceFn payload_source_;
   std::vector<unsigned> queue_sets_;
   UifdStats stats_;
 

@@ -1,6 +1,8 @@
 #include "rados/client.hpp"
 
 #include "common/check.hpp"
+#include "common/crc32c.hpp"
+#include "common/pipeline_validator.hpp"
 
 
 namespace dk::rados {
@@ -53,6 +55,13 @@ void RadosClient::attach_metrics(MetricsRegistry& registry,
     metrics_.timeouts = &registry.counter("io.timeouts");
     metrics_.degraded_reads = &registry.counter("io.degraded_reads");
   }
+  // Same byte-identity contract as above: integrity metrics exist only in
+  // integrity-armed stacks.
+  if (integrity_) {
+    metrics_.checksum_failures =
+        &registry.counter("integrity.checksum_failures");
+    metrics_.read_repairs = &registry.counter("integrity.read_repairs");
+  }
 }
 
 void RadosClient::count_retry(bool is_read) {
@@ -79,6 +88,10 @@ void RadosClient::arm_deadline(std::uint64_t op_id, Nanos timeout) {
     ++timeouts_;
     if (metrics_.timeouts) metrics_.timeouts->inc();
     if (metrics_.inflight) metrics_.inflight->sub();
+    // A detected corruption resolves here as an error: the op is over and
+    // no wrong bytes were delivered.
+    if (pend.corrupted_seen && validator_ != nullptr)
+      validator_->on_corruption_resolved();
     // Late replies for this op_id are now stale and ignored by on_reply.
     Status s = Status::Error(Errc::timed_out, "op deadline exceeded");
     if (pend.is_read) {
@@ -213,6 +226,7 @@ std::uint64_t RadosClient::write_replicated(int pool, std::uint64_t oid,
     body->key = ObjectKey{static_cast<std::uint32_t>(pool), oid, -1};
     body->offset = offset;
     body->data = std::move(data);
+    body->checksums = maybe_checksums(offset, body->data);
     body->replicas.assign(acting.begin() + 1, acting.end());
     send(acting[0], std::move(body));
     return op_id;
@@ -222,6 +236,7 @@ std::uint64_t RadosClient::write_replicated(int pool, std::uint64_t oid,
   pend.awaiting = static_cast<unsigned>(acting.size());
   pending_.emplace(op_id, std::move(pend));
   op_started();
+  const auto checksums = maybe_checksums(offset, data);
   for (int osd : acting) {
     auto body = std::make_shared<OpBody>();
     body->type = OpType::shard_write;
@@ -229,6 +244,7 @@ std::uint64_t RadosClient::write_replicated(int pool, std::uint64_t oid,
     body->key = ObjectKey{static_cast<std::uint32_t>(pool), oid, -1};
     body->offset = offset;
     body->data = data;  // full copy per replica, as the QDMA engine emits
+    body->checksums = checksums;
     body->reply_osd = -1;
     send(osd, std::move(body));
   }
@@ -291,6 +307,7 @@ std::uint64_t RadosClient::write_ec(int pool, std::uint64_t oid,
                           static_cast<std::int32_t>(s)};
     body->offset = shard_off;
     body->data = std::move(chunks[s]);
+    body->checksums = maybe_checksums(shard_off, body->data);
     body->reply_osd = -1;
     send(acting[s], std::move(body));
   }
@@ -355,7 +372,17 @@ std::uint64_t RadosClient::read_replicated(int pool, std::uint64_t oid,
   Pending pend;
   pend.is_read = true;
   pend.awaiting = 1;
+  pend.length = length;
   pend.rcb = std::move(cb);
+  if (integrity_) {
+    pend.pool = pool;
+    pend.oid = oid;
+    pend.offset = offset;
+    pend.acting = acting;
+    pend.tried.assign(acting.size(), 0);
+    pend.tried[choice] = 1;
+    pend.current = choice;
+  }
   pending_.emplace(op_id, std::move(pend));
   op_started();
 
@@ -393,7 +420,15 @@ std::uint64_t RadosClient::read_ec(int pool, std::uint64_t oid,
     Pending pend;
     pend.is_read = true;
     pend.awaiting = 1;
+    pend.length = length;
     pend.rcb = std::move(cb);
+    if (integrity_) {
+      pend.ec = true;
+      pend.pool = pool;
+      pend.oid = oid;
+      pend.offset = offset;
+      pend.acting = acting;
+    }
     pending_.emplace(op_id, std::move(pend));
     op_started();
     auto body = std::make_shared<OpBody>();
@@ -428,6 +463,16 @@ std::uint64_t RadosClient::read_ec(int pool, std::uint64_t oid,
   pend.length = length;
   pend.chunks.resize(k + m);
   pend.rcb = std::move(cb);
+  if (integrity_) {
+    pend.ec = true;
+    pend.pool = pool;
+    pend.oid = oid;
+    pend.offset = offset;
+    pend.acting = acting;
+    pend.tried.assign(k + m, 0);
+    for (unsigned s : shards) pend.tried[s] = 1;
+    pend.bad_shards.assign(k + m, 0);
+  }
   pending_.emplace(op_id, std::move(pend));
   op_started();
 
@@ -450,6 +495,12 @@ std::uint64_t RadosClient::read_ec(int pool, std::uint64_t oid,
 void RadosClient::on_reply(std::shared_ptr<OpBody> body) {
   auto it = pending_.find(body->op_id);
   if (it == pending_.end()) return;  // stale/duplicate
+  if (integrity_ && it->second.is_read) {
+    // Every read reply is checksum-verified and may enter read-repair; the
+    // generic path below then only ever sees write acks.
+    handle_integrity_read_reply(it, std::move(body));
+    return;
+  }
   Pending& pend = it->second;
 
   if (body->type == OpType::shard_data) {
@@ -510,6 +561,244 @@ void RadosClient::on_reply(std::shared_ptr<OpBody> body) {
   auto cb = std::move(pend.rcb);
   pending_.erase(it);
   cb(std::move(out));
+}
+
+std::vector<std::uint32_t> RadosClient::maybe_checksums(
+    std::uint64_t offset, const std::vector<std::uint8_t>& data) const {
+  // Checksums describe whole store blocks, so they are only meaningful for
+  // block-aligned writes; the OSD recomputes everything else from the
+  // stored bytes.
+  if (!integrity_ || offset % kChecksumBlockBytes != 0) return {};
+  return block_checksums(data);
+}
+
+bool RadosClient::verify_received(const OpBody& body) const {
+  // The OSD ships checksums only for the leading fully-stored blocks of a
+  // block-aligned read; verify exactly those against the received bytes.
+  const auto& data = body.data;
+  for (std::size_t i = 0; i < body.checksums.size(); ++i) {
+    const std::size_t begin = i * kChecksumBlockBytes;
+    if (begin + kChecksumBlockBytes > data.size()) break;
+    const std::span<const std::uint8_t> block(data.data() + begin,
+                                              kChecksumBlockBytes);
+    if (crc32c(block) != body.checksums[i]) return false;
+  }
+  return true;
+}
+
+void RadosClient::note_corruption(Pending& pend) {
+  if (pend.corrupted_seen) return;
+  pend.corrupted_seen = true;
+  if (validator_ != nullptr) validator_->on_corruption_detected();
+}
+
+void RadosClient::count_checksum_failure() {
+  ++checksum_failures_;
+  if (metrics_.checksum_failures) metrics_.checksum_failures->inc();
+}
+
+void RadosClient::complete_read(PendingIt it,
+                                Result<std::vector<std::uint8_t>> result) {
+  ++completed_;
+  if (metrics_.ops_completed) {
+    metrics_.ops_completed->inc();
+    metrics_.inflight->sub();
+  }
+  const bool seen = it->second.corrupted_seen;
+  auto cb = std::move(it->second.rcb);
+  pending_.erase(it);
+  // Whatever the outcome — repaired data or Errc::corrupted — the detected
+  // corruption is resolved: no wrong bytes were handed to the caller.
+  if (seen && validator_ != nullptr) validator_->on_corruption_resolved();
+  cb(std::move(result));
+}
+
+void RadosClient::send_repair_write(int osd, const ObjectKey& key,
+                                    std::uint64_t offset,
+                                    std::vector<std::uint8_t> data) {
+  // Fire-and-forget: the repair is best-effort and its ack is stale by
+  // construction (fresh op_id, no pending entry). A failed repair is caught
+  // again by the next read or a deep scrub.
+  auto body = std::make_shared<OpBody>();
+  body->type = OpType::shard_write;
+  body->op_id = next_op_id_++;
+  body->key = key;
+  body->offset = offset;
+  body->data = std::move(data);
+  body->checksums = maybe_checksums(offset, body->data);
+  body->reply_osd = -1;
+  ++read_repairs_;
+  if (metrics_.read_repairs) metrics_.read_repairs->inc();
+  send(osd, std::move(body));
+}
+
+unsigned RadosClient::issue_more_shards(std::uint64_t op_id, Pending& pend,
+                                        unsigned want) {
+  const std::uint64_t chunk_len = (pend.length + pend.k - 1) / pend.k;
+  const std::uint64_t shard_off = pend.offset / pend.k;
+  unsigned issued = 0;
+  for (unsigned s = 0; s < pend.k + pend.m && issued < want; ++s) {
+    if (pend.tried[s] || cluster_.osd_down(pend.acting[s])) continue;
+    pend.tried[s] = 1;
+    ++pend.awaiting;
+    ++issued;
+    auto body = std::make_shared<OpBody>();
+    body->type = OpType::shard_read;
+    body->op_id = op_id;
+    body->key = ObjectKey{static_cast<std::uint32_t>(pend.pool), pend.oid,
+                          static_cast<std::int32_t>(s)};
+    body->offset = shard_off;
+    body->length = chunk_len;
+    body->reply_osd = -1;
+    send(pend.acting[s], body);
+  }
+  return issued;
+}
+
+void RadosClient::ec_gather_complete(PendingIt it, std::uint64_t op_id) {
+  Pending& pend = it->second;
+  unsigned present = 0;
+  for (const auto& c : pend.chunks)
+    if (c) ++present;
+  if (present < pend.k) {
+    // Corrupted shards left a hole: pull in untried survivors and keep
+    // gathering. With nothing left to ask, the object is unrecoverable.
+    if (issue_more_shards(op_id, pend, pend.k - present) > 0) return;
+    complete_read(it, Status::Error(Errc::corrupted,
+                                    "fewer than k shards verified clean"));
+    return;
+  }
+
+  const unsigned k = pend.k, m = pend.m;
+  const auto& rs = codec(k, m);
+  bool all_data = true;
+  for (unsigned s = 0; s < k; ++s)
+    if (!pend.chunks[s]) {
+      all_data = false;
+      break;
+    }
+  std::vector<ec::Chunk> data_chunks;
+  if (all_data) {
+    for (unsigned s = 0; s < k; ++s) data_chunks.push_back(*pend.chunks[s]);
+  } else {
+    count_degraded_read();
+    auto decoded = rs.decode(pend.chunks);
+    if (!decoded.ok()) {
+      complete_read(it, decoded.status());
+      return;
+    }
+    data_chunks = std::move(*decoded);
+  }
+
+  // Read-repair: rewrite every shard that failed verification from the
+  // decoded data (re-encoding for parity shards).
+  std::optional<std::vector<ec::Chunk>> coding;
+  const std::uint64_t shard_off = pend.offset / k;
+  for (unsigned s = 0; s < k + m; ++s) {
+    if (s >= pend.bad_shards.size() || pend.bad_shards[s] == 0) continue;
+    std::vector<std::uint8_t> repaired;
+    if (s < k) {
+      repaired = data_chunks[s];
+    } else {
+      if (!coding) {
+        auto encoded = rs.encode(data_chunks);
+        DK_CHECK(encoded.ok());
+        coding = std::move(*encoded);
+      }
+      repaired = (*coding)[s - k];
+    }
+    send_repair_write(pend.acting[s],
+                      ObjectKey{static_cast<std::uint32_t>(pend.pool),
+                                pend.oid, static_cast<std::int32_t>(s)},
+                      shard_off, std::move(repaired));
+  }
+
+  complete_read(it, rs.assemble(data_chunks, pend.length));
+}
+
+void RadosClient::handle_integrity_read_reply(PendingIt it,
+                                              std::shared_ptr<OpBody> body) {
+  const std::uint64_t op_id = body->op_id;
+  Pending& pend = it->second;
+
+  if (body->type == OpType::shard_data) {
+    const auto s = static_cast<std::size_t>(body->key.shard);
+    DK_CHECK(s < pend.chunks.size());
+    if (body->error != Errc::ok || !verify_received(*body)) {
+      count_checksum_failure();
+      note_corruption(pend);
+      if (s < pend.bad_shards.size()) pend.bad_shards[s] = 1;
+    } else {
+      pend.chunks[s] = std::move(body->data);
+    }
+    if (--pend.awaiting != 0) return;
+    ec_gather_complete(it, op_id);
+    return;
+  }
+
+  DK_CHECK(body->type == OpType::reply_read)
+      << "unexpected read reply type " << static_cast<int>(body->type);
+  const bool bad = body->error != Errc::ok || !verify_received(*body);
+  if (!bad) {
+    // Clean data in hand: overwrite every replica that failed on the way
+    // here, then deliver.
+    for (int idx : pend.bad_replicas) {
+      send_repair_write(pend.acting[static_cast<std::size_t>(idx)],
+                        ObjectKey{static_cast<std::uint32_t>(pend.pool),
+                                  pend.oid, -1},
+                        pend.offset, body->data);
+    }
+    complete_read(it, std::move(body->data));
+    return;
+  }
+
+  count_checksum_failure();
+  note_corruption(pend);
+
+  if (pend.ec) {
+    // An EC primary saw a bad shard it cannot decode around (it reports,
+    // rather than masks, corruption): regather the shards directly and
+    // reconstruct locally.
+    count_degraded_read();
+    const auto& profile = cluster_.pool(pend.pool).ec_profile;
+    pend.k = profile.k;
+    pend.m = profile.m;
+    pend.chunks.assign(pend.k + pend.m, std::nullopt);
+    pend.bad_shards.assign(pend.k + pend.m, 0);
+    pend.tried.assign(pend.k + pend.m, 0);
+    pend.awaiting = 0;
+    if (issue_more_shards(op_id, pend, pend.k) == 0) {
+      complete_read(it, Status::Error(Errc::corrupted,
+                                      "no shards reachable for regather"));
+    }
+    return;
+  }
+
+  // Replicated: mark this copy bad and walk to the next untried live
+  // replica under the same op (awaiting stays 1).
+  pend.bad_replicas.push_back(static_cast<int>(pend.current));
+  std::size_t next = pend.acting.size();
+  for (std::size_t i = 0; i < pend.acting.size(); ++i) {
+    if (!pend.tried[i] && !cluster_.osd_down(pend.acting[i])) {
+      next = i;
+      break;
+    }
+  }
+  if (next == pend.acting.size()) {
+    complete_read(it, Status::Error(Errc::corrupted,
+                                    "no replica passed verification"));
+    return;
+  }
+  pend.tried[next] = 1;
+  pend.current = next;
+  auto req = std::make_shared<OpBody>();
+  req->type = OpType::client_read;
+  req->op_id = op_id;
+  req->key =
+      ObjectKey{static_cast<std::uint32_t>(pend.pool), pend.oid, -1};
+  req->offset = pend.offset;
+  req->length = pend.length;
+  send(pend.acting[next], std::move(req));
 }
 
 }  // namespace dk::rados

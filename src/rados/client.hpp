@@ -29,6 +29,10 @@
 #include "ec/reed_solomon.hpp"
 #include "rados/cluster.hpp"
 
+namespace dk {
+class PipelineValidator;
+}  // namespace dk
+
 namespace dk::rados {
 
 enum class WriteStrategy { primary_copy, client_fanout };
@@ -81,6 +85,23 @@ class RadosClient {
   /// fallback to direct shards, or parity reconstruction.
   std::uint64_t degraded_reads() const { return degraded_reads_; }
 
+  /// Arm client-side integrity: per-4kB CRC32C checksums attached to
+  /// block-aligned writes, verification of read replies, and read-repair —
+  /// a corrupted reply (Errc::corrupted from the OSD, or a receive-side
+  /// checksum mismatch) triggers a fetch from another replica / an EC
+  /// reconstruction from surviving shards, and the verified data is written
+  /// back over the bad copy. Only an op with no intact source left fails
+  /// with Errc::corrupted (which is deliberately not retryable).
+  void set_integrity(bool on) { integrity_ = on; }
+  bool integrity() const { return integrity_; }
+
+  /// Optional: report detected/resolved corruption to the pipeline
+  /// validator so verify_quiescent() can prove no corruption leaked.
+  void set_validator(PipelineValidator* validator) { validator_ = validator; }
+
+  std::uint64_t checksum_failures() const { return checksum_failures_; }
+  std::uint64_t read_repairs() const { return read_repairs_; }
+
   /// CRUSH placement work performed by this client since construction —
   /// the compute the FPGA bucket kernels offload in hardware variants.
   const crush::PlacementWork& placement_work() const { return work_; }
@@ -108,7 +129,19 @@ class RadosClient {
     std::vector<std::optional<ec::Chunk>> chunks;
     WriteCallback wcb;
     ReadCallback rcb;
+    // Read-repair context (populated only when integrity is armed).
+    bool ec = false;
+    bool corrupted_seen = false;
+    int pool = 0;
+    std::uint64_t oid = 0;
+    std::uint64_t offset = 0;
+    std::vector<int> acting;
+    std::vector<char> tried;        // per acting index: already asked
+    std::size_t current = 0;        // replicated: acting index now serving
+    std::vector<int> bad_replicas;  // replicated: acting indices to repair
+    std::vector<char> bad_shards;   // EC: shard indices to rebuild
   };
+  using PendingIt = std::map<std::uint64_t, Pending>::iterator;
 
   // Retry contexts: one per application op, shared across re-issues.
   struct WriteAttempt {
@@ -143,6 +176,22 @@ class RadosClient {
   void arm_deadline(std::uint64_t op_id, Nanos timeout);
   void count_degraded_read();
   void count_retry(bool is_read);
+
+  // Integrity plumbing. All read replies route through
+  // handle_integrity_read_reply when integrity is armed; it owns the
+  // replicated next-replica walk, the EC shard regather, and repair writes.
+  std::vector<std::uint32_t> maybe_checksums(
+      std::uint64_t offset, const std::vector<std::uint8_t>& data) const;
+  bool verify_received(const OpBody& body) const;
+  void note_corruption(Pending& pend);
+  void count_checksum_failure();
+  void complete_read(PendingIt it, Result<std::vector<std::uint8_t>> result);
+  void handle_integrity_read_reply(PendingIt it, std::shared_ptr<OpBody> body);
+  void ec_gather_complete(PendingIt it, std::uint64_t op_id);
+  unsigned issue_more_shards(std::uint64_t op_id, Pending& pend,
+                             unsigned want);
+  void send_repair_write(int osd, const ObjectKey& key, std::uint64_t offset,
+                         std::vector<std::uint8_t> data);
 
   // Inner dispatchers return the issued op_id (0 when the op failed
   // synchronously through `cb` and nothing is in flight).
@@ -182,6 +231,10 @@ class RadosClient {
   std::uint64_t retries_read_ = 0;
   std::uint64_t timeouts_ = 0;
   std::uint64_t degraded_reads_ = 0;
+  bool integrity_ = false;
+  PipelineValidator* validator_ = nullptr;
+  std::uint64_t checksum_failures_ = 0;
+  std::uint64_t read_repairs_ = 0;
 
   struct MetricHandles {
     Counter* ops_started = nullptr;
@@ -193,6 +246,8 @@ class RadosClient {
     Counter* retries_write = nullptr;
     Counter* timeouts = nullptr;
     Counter* degraded_reads = nullptr;
+    Counter* checksum_failures = nullptr;
+    Counter* read_repairs = nullptr;
   };
   MetricHandles metrics_;
 };

@@ -44,6 +44,7 @@ Cluster::Cluster(sim::Simulator& sim, ClusterConfig config)
     auto osd = std::make_unique<Osd>(sim_, static_cast<int>(i), config_.osd,
                                      config_.seed * 7919 + i);
     const int id = static_cast<int>(i);
+    osd->set_integrity(config_.integrity);
     osd->set_sender([this, id](int dst, std::shared_ptr<OpBody> body) {
       send_from_osd(id, dst, std::move(body));
     });
@@ -112,20 +113,41 @@ void Cluster::crash_osd(int id) {
 }
 
 void Cluster::restart_osd(int id) {
+  // Crash recovery runs before the OSD takes traffic again: surviving
+  // write intents (torn or unretired applies) are re-applied in full,
+  // refreshing checksum metadata.
+  const std::size_t replayed = osd(id).replay_journal();
+  if (replayed > 0) {
+    torn_writes_replayed_ += replayed;
+    if (torn_replayed_metric_ != nullptr)
+      torn_replayed_metric_->inc(replayed);
+  }
   osd(id).set_crashed(false);
   set_osd_down(id, false);
   set_osd_out(id, false);
   if (faults_ != nullptr) faults_->count_osd_restart();
 }
 
+void Cluster::attach_metrics(MetricsRegistry& registry,
+                             const std::string& prefix) {
+  torn_replayed_metric_ = &registry.counter(prefix + ".torn_writes_replayed");
+}
+
 void Cluster::arm_faults(sim::FaultInjector& faults) {
   faults_ = &faults;
   net_.set_fault_injector(&faults);
+  for (auto& o : osds_) o->set_fault_injector(&faults);
   for (const auto& ev : faults.plan().osd_crashes) {
     DK_CHECK(ev.osd >= 0 && static_cast<std::size_t>(ev.osd) < osds_.size())
         << "fault plan crashes OSD " << ev.osd << " out of range";
     const int id = ev.osd;
-    sim_.schedule_at(ev.crash_at, [this, id] { crash_osd(id); });
+    const bool torn = ev.torn_write;
+    sim_.schedule_at(ev.crash_at, [this, id, torn] {
+      crash_osd(id);
+      // Arm after the crash: the next store apply still in flight on this
+      // OSD (its worker closures outlive the process model) lands torn.
+      if (torn) osd(id).arm_torn_write();
+    });
     if (ev.mark_out_after >= 0) {
       // Monitor grace period, then CRUSH reweight: placement remaps and
       // write retries land on the new primary. Skipped if the OSD already
@@ -139,6 +161,30 @@ void Cluster::arm_faults(sim::FaultInjector& faults) {
           << "OSD " << id << " restart scheduled before its crash";
       sim_.schedule_at(ev.restart_at, [this, id] { restart_osd(id); });
     }
+  }
+  for (const auto& ev : faults.plan().media) {
+    sim_.schedule_at(ev.at, [this, ev] {
+      const ObjectKey key{ev.pool, ev.oid, ev.shard};
+      int target = ev.osd;
+      if (target < 0) {
+        // Hit the first live holder of the object/shard at event time.
+        for (std::size_t i = 0; i < osds_.size(); ++i) {
+          if (!down_[i] && osds_[i]->store().exists(key)) {
+            target = static_cast<int>(i);
+            break;
+          }
+        }
+      }
+      if (target < 0 ||
+          static_cast<std::size_t>(target) >= osds_.size())
+        return;  // no copy exists yet: nothing to corrupt, no rng draw
+      auto bytes = osd(target).store().raw_bytes(key);
+      if (bytes.empty()) return;
+      // Flip bits behind the checksum metadata's back: only a verify can
+      // tell this copy went bad.
+      faults_->corrupt_bytes(bytes, ev.bit_flips);
+      faults_->count_media_corruption();
+    });
   }
 }
 

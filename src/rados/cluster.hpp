@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "crush/builder.hpp"
 #include "ec/reed_solomon.hpp"
 #include "net/network.hpp"
@@ -41,6 +42,9 @@ struct ClusterConfig {
   OsdConfig osd;
   net::FabricConfig fabric;
   std::uint64_t seed = 1;
+  // Arm OSD-side integrity: per-block checksums + write-intent journaling
+  // in every object store, checksum verification before read replies.
+  bool integrity = false;
 };
 
 class Cluster {
@@ -97,8 +101,17 @@ class Cluster {
   /// and from the OSD are dropped until restart_osd(). Also usable directly
   /// by tests without a FaultPlan.
   void crash_osd(int id);
-  /// Bring a crashed OSD back: down/out cleared, placement restored.
+  /// Bring a crashed OSD back: down/out cleared, placement restored. In
+  /// integrity mode the OSD first replays its write-intent journal,
+  /// finishing any write a crash tore mid-apply.
   void restart_osd(int id);
+
+  bool integrity() const { return config_.integrity; }
+  std::uint64_t torn_writes_replayed() const { return torn_writes_replayed_; }
+
+  /// Publish cluster-level integrity counters under "<prefix>."
+  /// (torn_writes_replayed). Only called when integrity is armed.
+  void attach_metrics(MetricsRegistry& registry, const std::string& prefix);
 
   /// Register the client-side handler for reply messages.
   void set_client_handler(std::function<void(std::shared_ptr<OpBody>)> fn) {
@@ -140,6 +153,8 @@ class Cluster {
   std::vector<PoolConfig> pools_;
   std::function<void(std::shared_ptr<OpBody>)> client_handler_;
   sim::FaultInjector* faults_ = nullptr;
+  std::uint64_t torn_writes_replayed_ = 0;
+  Counter* torn_replayed_metric_ = nullptr;
 };
 
 }  // namespace dk::rados

@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/status.hpp"
 #include "rados/object_store.hpp"
 
 namespace dk::rados {
@@ -53,6 +54,14 @@ struct OpBody {
   // Transient pushes (EC reconstruction gathers) are not persisted at the
   // destination; they only charge transfer + service time.
   bool transient = false;
+  // Integrity mode: per-4kB-block CRC-32C of `data`. On writes the client
+  // attaches them so the OSD can store what the client computed; on read
+  // replies the OSD attaches the stored checksums so the client can verify
+  // on receive.
+  std::vector<std::uint32_t> checksums;
+  // Integrity mode: replies carry Errc::corrupted (with empty data) when
+  // the serving OSD's checksum verification failed.
+  Errc error = Errc::ok;
 };
 
 inline std::uint64_t op_wire_bytes(const OpBody& body) {

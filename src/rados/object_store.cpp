@@ -2,16 +2,66 @@
 
 #include <algorithm>
 
+#include "common/crc32c.hpp"
+
 namespace dk::rados {
 
-void ObjectStore::write(const ObjectKey& key, std::uint64_t offset,
-                        std::span<const std::uint8_t> data) {
-  if (data.empty()) return;
+namespace {
+constexpr std::uint64_t kBlock = kChecksumBlockBytes;
+}  // namespace
+
+void ObjectStore::store_bytes(const ObjectKey& key, std::uint64_t offset,
+                              std::span<const std::uint8_t> data) {
   auto& obj = objects_[key];
   const std::uint64_t end = offset + data.size();
   if (obj.size() < end) obj.resize(end, 0);
   std::copy(data.begin(), data.end(),
             obj.begin() + static_cast<std::ptrdiff_t>(offset));
+}
+
+void ObjectStore::refresh_checksums(const ObjectKey& key, std::uint64_t offset,
+                                    std::uint64_t length,
+                                    std::span<const std::uint32_t> provided) {
+  auto it = objects_.find(key);
+  if (it == objects_.end() || it->second.empty()) return;
+  const auto& obj = it->second;
+  auto& cs = checksums_[key];
+  const std::uint64_t old_blocks = cs.size();
+  cs.resize((obj.size() + kBlock - 1) / kBlock, 0);
+  // Zero-extension may have created whole blocks below `offset` that never
+  // had a checksum, and can grow a formerly partial tail block; refresh
+  // from the old tail block or the write start, whichever comes first.
+  const std::uint64_t old_tail = old_blocks > 0 ? old_blocks - 1 : 0;
+  const std::uint64_t first =
+      std::min<std::uint64_t>(offset / kBlock, old_tail);
+  const std::uint64_t last = (offset + length - 1) / kBlock;
+  for (std::uint64_t b = first; b <= last && b < cs.size(); ++b) {
+    const std::uint64_t block_start = b * kBlock;
+    const std::uint64_t block_len =
+        std::min<std::uint64_t>(kBlock, obj.size() - block_start);
+    // A client-provided checksum is only usable when this write fully
+    // covers the block (and the write was block-aligned, so indices map).
+    const bool aligned = offset % kBlock == 0;
+    const std::uint64_t j = aligned && b >= offset / kBlock
+                                ? b - offset / kBlock
+                                : provided.size();
+    const bool fully_covered = block_start >= offset &&
+                               block_start + block_len <= offset + length;
+    if (fully_covered && j < provided.size()) {
+      cs[b] = provided[j];
+    } else {
+      cs[b] = crc32c(std::span<const std::uint8_t>(obj).subspan(
+          block_start, block_len));
+    }
+  }
+}
+
+void ObjectStore::write(const ObjectKey& key, std::uint64_t offset,
+                        std::span<const std::uint8_t> data,
+                        std::span<const std::uint32_t> checksums) {
+  if (data.empty()) return;
+  store_bytes(key, offset, data);
+  if (integrity_) refresh_checksums(key, offset, data.size(), checksums);
 }
 
 std::vector<std::uint8_t> ObjectStore::read(const ObjectKey& key,
@@ -37,7 +87,10 @@ std::uint64_t ObjectStore::object_size(const ObjectKey& key) const {
   return it == objects_.end() ? 0 : it->second.size();
 }
 
-void ObjectStore::remove(const ObjectKey& key) { objects_.erase(key); }
+void ObjectStore::remove(const ObjectKey& key) {
+  objects_.erase(key);
+  checksums_.erase(key);
+}
 
 std::vector<ObjectKey> ObjectStore::keys() const {
   std::vector<ObjectKey> out;
@@ -57,6 +110,99 @@ std::uint64_t ObjectStore::bytes_stored() const {
   std::uint64_t total = 0;
   for (const auto& [k, v] : objects_) total += v.size();
   return total;
+}
+
+// --- integrity mode ----------------------------------------------------------
+
+bool ObjectStore::verify(const ObjectKey& key, std::uint64_t offset,
+                         std::uint64_t length) const {
+  if (!integrity_ || length == 0) return true;
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return true;
+  const auto& obj = it->second;
+  if (offset >= obj.size()) return true;
+  auto cit = checksums_.find(key);
+  const std::span<const std::uint32_t> cs =
+      cit == checksums_.end() ? std::span<const std::uint32_t>{}
+                              : std::span<const std::uint32_t>(cit->second);
+  const std::uint64_t check_end =
+      std::min<std::uint64_t>(offset + length, obj.size());
+  for (std::uint64_t b = offset / kBlock; b * kBlock < check_end; ++b) {
+    const std::uint64_t block_start = b * kBlock;
+    const std::uint64_t block_len =
+        std::min<std::uint64_t>(kBlock, obj.size() - block_start);
+    // Stored bytes with no recorded checksum (e.g. a torn apply that grew
+    // the object) are treated as corrupt: absence of metadata for present
+    // data is itself the signature of an interrupted write.
+    if (b >= cs.size()) return false;
+    const std::uint32_t actual = crc32c(
+        std::span<const std::uint8_t>(obj).subspan(block_start, block_len));
+    if (actual != cs[b]) return false;
+  }
+  return true;
+}
+
+std::vector<std::uint32_t> ObjectStore::checksums_for(
+    const ObjectKey& key, std::uint64_t offset, std::uint64_t length) const {
+  std::vector<std::uint32_t> out;
+  if (!integrity_ || length == 0 || offset % kBlock != 0) return out;
+  auto it = objects_.find(key);
+  auto cit = checksums_.find(key);
+  if (it == objects_.end() || cit == checksums_.end()) return out;
+  const auto& obj = it->second;
+  const auto& cs = cit->second;
+  // Only leading fully stored blocks: a partial tail block's stored CRC
+  // covers fewer bytes than the zero-filled block the reader sees, so
+  // shipping it would flag a false mismatch.
+  for (std::uint64_t b = offset / kBlock;
+       b * kBlock + kBlock <= std::min<std::uint64_t>(offset + length,
+                                                      obj.size()) &&
+       b < cs.size();
+       ++b) {
+    out.push_back(cs[b]);
+  }
+  return out;
+}
+
+std::span<std::uint8_t> ObjectStore::raw_bytes(const ObjectKey& key) {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return {};
+  return std::span<std::uint8_t>(it->second);
+}
+
+std::uint64_t ObjectStore::journal_begin(const ObjectKey& key,
+                                         std::uint64_t offset,
+                                         std::span<const std::uint8_t> data) {
+  if (!integrity_) return 0;
+  const std::uint64_t id = next_intent_++;
+  journal_.emplace(id, WriteIntent{key, offset,
+                                   std::vector<std::uint8_t>(data.begin(),
+                                                             data.end())});
+  return id;
+}
+
+void ObjectStore::journal_clear(std::uint64_t intent_id) {
+  journal_.erase(intent_id);
+}
+
+std::size_t ObjectStore::journal_replay() {
+  const std::size_t n = journal_.size();
+  for (const auto& [id, intent] : journal_) {
+    store_bytes(intent.key, intent.offset, intent.data);
+    if (integrity_)
+      refresh_checksums(intent.key, intent.offset, intent.data.size(), {});
+  }
+  journal_.clear();
+  return n;
+}
+
+void ObjectStore::apply_torn(const ObjectKey& key, std::uint64_t offset,
+                             std::span<const std::uint8_t> data,
+                             std::uint64_t prefix_bytes) {
+  if (data.empty() || prefix_bytes == 0) return;
+  store_bytes(key, offset,
+              data.subspan(0, std::min<std::uint64_t>(prefix_bytes,
+                                                      data.size())));
 }
 
 }  // namespace dk::rados

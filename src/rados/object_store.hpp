@@ -3,6 +3,20 @@
 // Functionally faithful: bytes written through the stack are stored and can
 // be read back (end-to-end data-integrity tests depend on this); sparse
 // writes extend objects with zero fill, like a POSIX file.
+//
+// Integrity mode (set_integrity(true), off by default) adds two BlueStore-
+// style mechanisms:
+//
+//   * Per-object block checksums: every kChecksumBlockBytes block of a
+//     stored object carries a CRC-32C, refreshed on write and checked by
+//     verify(). corrupt_bytes()-style mutation through raw_bytes() leaves
+//     them stale — that is the point: stale checksums are how silent media
+//     corruption becomes detectable.
+//   * A write-intent journal: journal_begin() records the full mutation
+//     before it is applied, journal_clear() retires it after a clean apply,
+//     and journal_replay() re-applies every surviving intent (a torn or
+//     lost apply) on OSD restart. apply_torn() persists only a prefix of a
+//     write WITHOUT refreshing checksums, modelling a crash mid-write.
 #pragma once
 
 #include <cstdint>
@@ -23,9 +37,14 @@ struct ObjectKey {
 
 class ObjectStore {
  public:
-  /// Write `data` at `offset`, extending the object as needed.
+  /// Write `data` at `offset`, extending the object as needed. In integrity
+  /// mode the affected block checksums are refreshed; `checksums` (optional,
+  /// from the client) supplies precomputed CRCs for blocks this write fully
+  /// covers — partially covered blocks are always recomputed from the
+  /// stored bytes.
   void write(const ObjectKey& key, std::uint64_t offset,
-             std::span<const std::uint8_t> data);
+             std::span<const std::uint8_t> data,
+             std::span<const std::uint32_t> checksums = {});
 
   /// Read `length` bytes at `offset`; short objects are zero-filled, like
   /// reading a hole in a sparse file.
@@ -45,8 +64,73 @@ class ObjectStore {
   /// Keys belonging to one pool.
   std::vector<ObjectKey> keys_of_pool(std::uint32_t pool) const;
 
+  // --- integrity mode ----------------------------------------------------
+
+  void set_integrity(bool on) { integrity_ = on; }
+  bool integrity() const { return integrity_; }
+
+  /// Recompute CRC-32C over the stored bytes of every block overlapping
+  /// [offset, offset + length) and compare against the checksum metadata.
+  /// Blocks with no recorded checksum (written before integrity was armed,
+  /// or a torn apply) FAIL verification when any byte in range is stored —
+  /// absence of a checksum for present data is itself suspect. Returns true
+  /// when integrity is off, the object is absent, or all blocks check out.
+  bool verify(const ObjectKey& key, std::uint64_t offset,
+              std::uint64_t length) const;
+
+  /// Stored checksums for the blocks overlapping [offset, offset + length),
+  /// in block order, for shipping alongside read replies. Empty when
+  /// integrity is off, the object is absent, or `offset` is not block-
+  /// aligned (the receiver could not match blocks up).
+  std::vector<std::uint32_t> checksums_for(const ObjectKey& key,
+                                           std::uint64_t offset,
+                                           std::uint64_t length) const;
+
+  /// Mutable view of the raw stored bytes — the media-corruption injection
+  /// point. Mutating through it deliberately bypasses checksum maintenance.
+  /// Empty span when the object is absent.
+  std::span<std::uint8_t> raw_bytes(const ObjectKey& key);
+
+  // --- write-intent journal (integrity mode only) ------------------------
+
+  /// Record the intent to apply this write. Returns an intent id for
+  /// journal_clear(). No-op (returns 0) when integrity is off.
+  std::uint64_t journal_begin(const ObjectKey& key, std::uint64_t offset,
+                              std::span<const std::uint8_t> data);
+  /// Retire a cleanly applied intent.
+  void journal_clear(std::uint64_t intent_id);
+  /// Re-apply every surviving intent (crash recovery), refreshing block
+  /// checksums, then clear the journal. Returns the number replayed.
+  std::size_t journal_replay();
+  std::size_t journal_size() const { return journal_.size(); }
+
+  /// Persist only the first `prefix_bytes` of a write and DO NOT refresh
+  /// checksum metadata: a crash landed mid-apply. The matching journal
+  /// intent stays pending so journal_replay() can finish the job.
+  void apply_torn(const ObjectKey& key, std::uint64_t offset,
+                  std::span<const std::uint8_t> data,
+                  std::uint64_t prefix_bytes);
+
  private:
+  struct WriteIntent {
+    ObjectKey key;
+    std::uint64_t offset = 0;
+    std::vector<std::uint8_t> data;
+  };
+
+  void store_bytes(const ObjectKey& key, std::uint64_t offset,
+                   std::span<const std::uint8_t> data);
+  void refresh_checksums(const ObjectKey& key, std::uint64_t offset,
+                         std::uint64_t length,
+                         std::span<const std::uint32_t> provided);
+
+  bool integrity_ = false;
+  std::uint64_t next_intent_ = 1;
   std::map<ObjectKey, std::vector<std::uint8_t>> objects_;
+  // Per-object, per-block CRC-32C (index = block number). Only maintained
+  // in integrity mode.
+  std::map<ObjectKey, std::vector<std::uint32_t>> checksums_;
+  std::map<std::uint64_t, WriteIntent> journal_;
 };
 
 }  // namespace dk::rados

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "sim/faults.hpp"
 
 namespace dk::rados {
 
@@ -79,7 +80,8 @@ void Osd::handle(std::shared_ptr<OpBody> body) {
       const Nanos svc = service_time(body->data.size(), /*is_write=*/true,
                                      body->key, body->offset);
       workers_.submit(svc, [this, body = std::move(body)] {
-        if (!body->transient) store_.write(body->key, body->offset, body->data);
+        if (!body->transient)
+          apply_write(body->key, body->offset, body->data, body->checksums);
         if (body->on_done) body->on_done();
       });
       break;
@@ -88,6 +90,31 @@ void Osd::handle(std::shared_ptr<OpBody> body) {
     default:
       DK_CHECK(false) << "reply types are client-bound";
   }
+}
+
+void Osd::apply_write(const ObjectKey& key, std::uint64_t offset,
+                      std::span<const std::uint8_t> data,
+                      std::span<const std::uint32_t> checksums) {
+  if (!store_.integrity()) {
+    store_.write(key, offset, data);
+    return;
+  }
+  const std::uint64_t intent = store_.journal_begin(key, offset, data);
+  if (crashed_ && torn_armed_ && data.size() >= 2) {
+    // The crash landed mid-apply: only a prefix of the payload reaches the
+    // media and the checksum metadata is never refreshed. The journal
+    // intent stays pending — replay_journal() finishes the write when the
+    // OSD restarts; until then block-checksum verification flags the tear.
+    torn_armed_ = false;
+    const std::uint64_t prefix =
+        faults_ != nullptr ? faults_->torn_prefix(data.size())
+                           : data.size() / 2;
+    store_.apply_torn(key, offset, data, prefix);
+    if (faults_ != nullptr) faults_->count_torn_write();
+    return;
+  }
+  store_.write(key, offset, data, checksums);
+  store_.journal_clear(intent);
 }
 
 const ec::ReedSolomon& Osd::codec(unsigned k, unsigned m) {
@@ -129,7 +156,7 @@ void Osd::do_client_write(std::shared_ptr<OpBody> body) {
   const Nanos svc = service_time(body->data.size(), /*is_write=*/true,
                                  body->key, body->offset);
   workers_.submit(svc, [this, op_id, body = std::move(body)] {
-    store_.write(body->key, body->offset, body->data);
+    apply_write(body->key, body->offset, body->data, body->checksums);
     auto self_ack = std::make_shared<OpBody>();
     self_ack->type = OpType::repl_ack;
     self_ack->op_id = op_id;
@@ -145,7 +172,15 @@ void Osd::do_client_read(std::shared_ptr<OpBody> body) {
     reply->type = OpType::reply_read;
     reply->op_id = body->op_id;
     reply->key = body->key;
-    reply->data = store_.read(body->key, body->offset, body->length);
+    if (!store_.verify(body->key, body->offset, body->length)) {
+      // Block checksum mismatch: reply the error instead of known-bad
+      // bytes; the client's read-repair fetches another replica.
+      reply->error = Errc::corrupted;
+    } else {
+      reply->data = store_.read(body->key, body->offset, body->length);
+      reply->checksums =
+          store_.checksums_for(body->key, body->offset, body->length);
+    }
     send_(-1, std::move(reply));
   });
 }
@@ -154,7 +189,7 @@ void Osd::do_repl_write(std::shared_ptr<OpBody> body) {
   const Nanos svc = service_time(body->data.size(), /*is_write=*/true,
                                  body->key, body->offset);
   workers_.submit(svc, [this, body = std::move(body)] {
-    store_.write(body->key, body->offset, body->data);
+    apply_write(body->key, body->offset, body->data, body->checksums);
     auto ack = std::make_shared<OpBody>();
     ack->type = OpType::repl_ack;
     ack->op_id = body->op_id;
@@ -177,7 +212,7 @@ void Osd::do_shard_write(std::shared_ptr<OpBody> body) {
   const Nanos svc = service_time(body->data.size(), /*is_write=*/true,
                                  body->key, body->offset);
   workers_.submit(svc, [this, body = std::move(body)] {
-    store_.write(body->key, body->offset, body->data);
+    apply_write(body->key, body->offset, body->data, body->checksums);
     auto ack = std::make_shared<OpBody>();
     ack->type = OpType::shard_ack;
     ack->op_id = body->op_id;
@@ -215,7 +250,7 @@ void Osd::do_ec_primary_write(std::shared_ptr<OpBody> body) {
     // Store our own shard (shard 0).
     ObjectKey own = body->key;
     own.shard = 0;
-    store_.write(own, shard_off, shards[0]);
+    apply_write(own, shard_off, shards[0], {});
 
     PendingWrite pw;
     pw.awaiting = static_cast<unsigned>(shards.size() - 1);
@@ -256,14 +291,26 @@ void Osd::do_ec_primary_read(std::shared_ptr<OpBody> body) {
       service_time(chunk_len, /*is_write=*/false, own_key, shard_off);
   workers_.submit(svc, [this, body = std::move(body), chunk_len, shard_off] {
     const unsigned k = body->ec_k, m = body->ec_m;
+    ObjectKey own = body->key;
+    own.shard = 0;
+    if (!store_.verify(own, shard_off, chunk_len)) {
+      // The primary's own shard is bad: it cannot serve this gather-and-
+      // decode path. Reply the error; the client falls back to a
+      // direct_shards read, which reconstructs from parity and repairs.
+      auto reply = std::make_shared<OpBody>();
+      reply->type = OpType::reply_read;
+      reply->op_id = body->op_id;
+      reply->key = body->key;
+      reply->error = Errc::corrupted;
+      send_(-1, std::move(reply));
+      return;
+    }
     PendingRead pr;
     pr.k = k;
     pr.m = m;
     pr.length = body->length;
     pr.awaiting = k - 1;
     pr.chunks.resize(k + m);
-    ObjectKey own = body->key;
-    own.shard = 0;
     pr.chunks[0] = store_.read(own, shard_off, chunk_len);
 
     auto reply = std::make_shared<OpBody>();
@@ -296,6 +343,15 @@ void Osd::do_shard_data(std::shared_ptr<OpBody> body) {
   auto it = pending_reads_.find(body->op_id);
   if (it == pending_reads_.end()) return;  // stale
   PendingRead& pr = it->second;
+  if (body->error != Errc::ok) {
+    // A gathered shard failed its checksum. The primary only gathers the k
+    // data shards, so it cannot decode around the bad one — abort the
+    // gather and let the client's direct_shards fallback reconstruct.
+    pr.reply->error = body->error;
+    send_(-1, pr.reply);
+    pending_reads_.erase(it);
+    return;
+  }
   const auto shard = static_cast<std::size_t>(body->key.shard);
   DK_CHECK(shard < pr.chunks.size());
   pr.chunks[shard] = std::move(body->data);
@@ -317,7 +373,13 @@ void Osd::do_shard_read(std::shared_ptr<OpBody> body) {
     reply->type = OpType::shard_data;
     reply->op_id = body->op_id;
     reply->key = body->key;
-    reply->data = store_.read(body->key, body->offset, body->length);
+    if (!store_.verify(body->key, body->offset, body->length)) {
+      reply->error = Errc::corrupted;
+    } else {
+      reply->data = store_.read(body->key, body->offset, body->length);
+      reply->checksums =
+          store_.checksums_for(body->key, body->offset, body->length);
+    }
     reply->target_osd = body->reply_osd;
     send_(body->reply_osd, std::move(reply));
   });

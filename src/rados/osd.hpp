@@ -11,6 +11,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/metrics.hpp"
@@ -21,6 +22,10 @@
 #include "rados/messages.hpp"
 #include "rados/object_store.hpp"
 #include "sim/resources.hpp"
+
+namespace dk::sim {
+class FaultInjector;
+}  // namespace dk::sim
 
 namespace dk::rados {
 
@@ -62,6 +67,25 @@ class Osd {
   void set_crashed(bool crashed);
   bool crashed() const { return crashed_; }
 
+  /// Integrity mode: every store mutation goes through the write-intent
+  /// journal (journal -> apply -> clear) and every read verifies block
+  /// checksums before replying (mismatch -> Errc::corrupted reply).
+  void set_integrity(bool on) { store_.set_integrity(on); }
+  bool integrity() const { return store_.integrity(); }
+
+  /// Fault-injection hooks (torn-write prefixes draw from the injector's
+  /// corruption stream; injections are counted there).
+  void set_fault_injector(sim::FaultInjector* faults) { faults_ = faults; }
+
+  /// Arm a torn write: the next store apply on this (crashed) OSD persists
+  /// only a random prefix and leaves its journal intent pending. Only
+  /// honoured in integrity mode (see OsdCrashEvent::torn_write).
+  void arm_torn_write() { torn_armed_ = true; }
+
+  /// Crash recovery: re-apply surviving write intents (finishing torn or
+  /// lost applies), refreshing checksums. Returns the number replayed.
+  std::size_t replay_journal() { return store_.journal_replay(); }
+
   /// Sampled service time for an op of `bytes` at (key, offset); queueing
   /// not included. Models two cache effects of the real backend:
   ///   * readahead — a read contiguous with the previous read of the same
@@ -77,6 +101,14 @@ class Osd {
   void attach_metrics(MetricsRegistry& registry, const std::string& prefix);
 
  private:
+  /// Single choke point for every durable store mutation: journals the
+  /// intent in integrity mode, honours an armed torn write (prefix-only
+  /// apply with the intent left pending), otherwise applies fully and
+  /// retires the intent.
+  void apply_write(const ObjectKey& key, std::uint64_t offset,
+                   std::span<const std::uint8_t> data,
+                   std::span<const std::uint32_t> checksums);
+
   void do_client_write(std::shared_ptr<OpBody> body);
   void do_client_read(std::shared_ptr<OpBody> body);
   void do_repl_write(std::shared_ptr<OpBody> body);
@@ -118,6 +150,8 @@ class Osd {
   std::map<std::uint64_t, std::unique_ptr<ec::ReedSolomon>> codecs_;
   std::uint64_t ops_served_ = 0;
   bool crashed_ = false;
+  bool torn_armed_ = false;
+  sim::FaultInjector* faults_ = nullptr;
 
   struct MetricHandles {
     Counter* ops = nullptr;

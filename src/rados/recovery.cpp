@@ -230,8 +230,24 @@ ScrubReport RecoveryManager::scrub(int pool) const {
       }
     }
 
-    // Deep check: replicas must be byte-identical.
-    if (pcfg.mode == PoolConfig::Mode::replicated && held_by.size() > 1) {
+    // Deep check. With integrity armed every copy/shard is verified
+    // against its stored block checksums, which arbitrates even the
+    // two-replica case: the copy whose bytes no longer match its CRCs is
+    // the bad one. Without checksums all we can do is byte-diff replicas
+    // (a diff proves disagreement but cannot name the culprit).
+    if (cluster_.integrity()) {
+      std::uint64_t bad = 0;
+      for (int holder : held_by) {
+        const auto& st = cluster_.osd(holder).store();
+        if (!st.verify(key, 0, st.object_size(key))) ++bad;
+      }
+      if (bad > 0) {
+        report.checksum_failures += bad;
+        ++report.inconsistent;
+        ok = false;
+      }
+    } else if (pcfg.mode == PoolConfig::Mode::replicated &&
+               held_by.size() > 1) {
       const auto& first = cluster_.osd(held_by[0]).store();
       const auto ref =
           first.read(key, 0, first.object_size(key));
@@ -247,6 +263,73 @@ ScrubReport RecoveryManager::scrub(int pool) const {
     if (ok) ++report.placements_ok;
   }
   return report;
+}
+
+ScrubReport RecoveryManager::repair(int pool) {
+  ScrubReport report = scrub(pool);
+  if (!cluster_.integrity() || report.checksum_failures == 0) return report;
+
+  const auto& pcfg = cluster_.pool(pool);
+  auto holders = holders_of_pool(cluster_, pool);
+  for (const auto& [key, held_by] : holders) {
+    std::vector<int> good, bad;
+    for (int h : held_by) {
+      const auto& st = cluster_.osd(h).store();
+      if (st.verify(key, 0, st.object_size(key)))
+        good.push_back(h);
+      else
+        bad.push_back(h);
+    }
+    if (bad.empty()) continue;
+
+    std::vector<std::uint8_t> replacement;
+    if (pcfg.mode == PoolConfig::Mode::replicated) {
+      if (good.empty()) continue;  // every copy bad: unrepairable
+      const auto& src = cluster_.osd(good[0]).store();
+      replacement = src.read(key, 0, src.object_size(key));
+    } else {
+      // EC shard: decode it back from k verified live siblings.
+      const unsigned k = pcfg.ec_profile.k;
+      std::vector<std::pair<int, ObjectKey>> sources;
+      for (unsigned s = 0;
+           s < pcfg.ec_profile.total() && sources.size() < k; ++s) {
+        if (static_cast<std::int32_t>(s) == key.shard) continue;
+        ObjectKey sibling = key;
+        sibling.shard = static_cast<std::int32_t>(s);
+        auto hit = holders.find(sibling);
+        if (hit == holders.end()) continue;
+        for (int h : hit->second) {
+          const auto& st = cluster_.osd(h).store();
+          if (!cluster_.osd_down(h) &&
+              st.verify(sibling, 0, st.object_size(sibling))) {
+            sources.emplace_back(h, sibling);
+            break;
+          }
+        }
+      }
+      if (sources.size() < k) continue;  // not enough clean siblings
+      RecoveryMove move;
+      move.key = key;
+      move.sources = std::move(sources);
+      replacement = rebuild_shard(pool, move);
+      if (replacement.empty()) continue;
+    }
+
+    for (int h : bad) {
+      // Full rewrite through the store's normal path refreshes the block
+      // checksums over the verified bytes.
+      cluster_.osd(h).store().write(key, 0, replacement);
+      ++report.repaired;
+      ++scrub_repairs_;
+      if (scrub_repairs_metric_ != nullptr) scrub_repairs_metric_->inc();
+    }
+  }
+  return report;
+}
+
+void RecoveryManager::attach_metrics(MetricsRegistry& registry,
+                                     const std::string& prefix) {
+  scrub_repairs_metric_ = &registry.counter(prefix + ".scrub_repairs");
 }
 
 }  // namespace dk::rados

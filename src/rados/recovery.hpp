@@ -45,7 +45,10 @@ struct ScrubReport {
   std::uint64_t placements_ok = 0;
   std::uint64_t misplaced = 0;      // copy exists but not on an acting OSD
   std::uint64_t missing = 0;        // acting OSD lacks its copy/shard
-  std::uint64_t inconsistent = 0;   // replica contents differ
+  std::uint64_t inconsistent = 0;   // objects with an identified bad copy
+                                    // (integrity off: replica byte diff)
+  std::uint64_t checksum_failures = 0;  // copies/shards failing verification
+  std::uint64_t repaired = 0;           // copies/shards rewritten by repair()
 };
 
 class RecoveryManager {
@@ -63,11 +66,27 @@ class RecoveryManager {
                std::function<void()> done);
 
   /// Deep scrub: verify every stored object of the pool against its acting
-  /// set (placement correctness + byte-identical replicas).
+  /// set. With cluster integrity armed the deep check is checksum-based —
+  /// every copy and EC shard is verified against its stored block CRCs, so
+  /// `inconsistent` identifies the bad copy even with only two replicas.
+  /// Without integrity only byte-diffing replicas is possible (a diff says
+  /// the copies disagree, not which one is bad).
   ScrubReport scrub(int pool) const;
+
+  /// Checksum scrub + repair (integrity mode only; otherwise identical to
+  /// scrub): every copy/shard failing verification is rewritten from a
+  /// verified source — another replica, or an EC decode of k verified
+  /// siblings. Unrepairable copies (no verified source) stay counted in
+  /// `checksum_failures` but not `repaired`. Store mutations are immediate;
+  /// no simulated time is charged (scrub runs between measured phases).
+  ScrubReport repair(int pool);
 
   std::uint64_t objects_recovered() const { return recovered_; }
   std::uint64_t bytes_recovered() const { return bytes_; }
+  std::uint64_t scrub_repairs() const { return scrub_repairs_; }
+
+  /// Publish scrub-repair activity under "<prefix>." (scrub_repairs).
+  void attach_metrics(MetricsRegistry& registry, const std::string& prefix);
 
  private:
   /// Functionally rebuild a missing EC shard from the move's sources.
@@ -77,6 +96,8 @@ class RecoveryManager {
   Cluster& cluster_;
   std::uint64_t recovered_ = 0;
   std::uint64_t bytes_ = 0;
+  std::uint64_t scrub_repairs_ = 0;
+  Counter* scrub_repairs_metric_ = nullptr;
 };
 
 }  // namespace dk::rados

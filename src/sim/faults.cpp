@@ -12,6 +12,7 @@ namespace {
 // splitmix64 inside Rng::reseed).
 constexpr std::uint64_t kNetSalt = 0x6e65742d66617571ULL;
 constexpr std::uint64_t kQdmaSalt = 0x71646d612d666c74ULL;
+constexpr std::uint64_t kCorruptSalt = 0x636f7272757074ULL;
 
 }  // namespace
 
@@ -19,9 +20,11 @@ FaultInjector::FaultInjector(Simulator& sim, FaultPlan plan)
     : sim_(sim),
       plan_(std::move(plan)),
       net_rng_(plan_.seed * 0x9e3779b97f4a7c15ULL + kNetSalt),
-      qdma_rng_(plan_.seed * 0x9e3779b97f4a7c15ULL + kQdmaSalt) {
+      qdma_rng_(plan_.seed * 0x9e3779b97f4a7c15ULL + kQdmaSalt),
+      corrupt_rng_(plan_.seed * 0x9e3779b97f4a7c15ULL + kCorruptSalt) {
   for (const auto& w : plan_.links) DK_CHECK(w.end >= w.start);
   for (const auto& w : plan_.qdma) DK_CHECK(w.end >= w.start);
+  for (const auto& w : plan_.dma_corruption) DK_CHECK(w.end >= w.start);
 }
 
 bool FaultInjector::should_drop_frame(std::uint32_t src, std::uint32_t dst) {
@@ -81,6 +84,46 @@ bool FaultInjector::should_fail_completion() {
   return false;
 }
 
+bool FaultInjector::maybe_corrupt_dma(std::span<std::uint8_t> payload) {
+  if (payload.empty()) return false;
+  const Nanos now = sim_.now();
+  for (const auto& w : plan_.dma_corruption) {
+    if (now < w.start || now >= w.end || w.corrupt_prob <= 0.0) continue;
+    // Like the other domains, the corruption stream is consumed only while
+    // a matching window is active: plans without corruption windows leave
+    // every other domain's replay untouched.
+    if (corrupt_rng_.chance(w.corrupt_prob)) {
+      corrupt_bytes(payload, w.bit_flips);
+      injected(metrics_.dma_corruptions, stats_.dma_corruptions);
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultInjector::corrupt_bytes(std::span<std::uint8_t> bytes,
+                                  unsigned bit_flips) {
+  DK_CHECK(!bytes.empty());
+  for (unsigned i = 0; i < bit_flips; ++i) {
+    const std::uint64_t byte = corrupt_rng_.below(bytes.size());
+    const auto bit = static_cast<std::uint8_t>(corrupt_rng_.below(8));
+    bytes[byte] ^= static_cast<std::uint8_t>(1u << bit);
+  }
+}
+
+void FaultInjector::count_media_corruption() {
+  injected(metrics_.media_corruptions, stats_.media_corruptions);
+}
+
+void FaultInjector::count_torn_write() {
+  injected(metrics_.torn_writes, stats_.torn_writes);
+}
+
+std::uint64_t FaultInjector::torn_prefix(std::uint64_t size) {
+  DK_CHECK(size >= 2) << "a torn write needs at least 2 bytes to tear";
+  return 1 + corrupt_rng_.below(size - 1);
+}
+
 void FaultInjector::count_osd_crash() {
   injected(metrics_.osd_crashes, stats_.osd_crashes);
 }
@@ -105,6 +148,10 @@ void FaultInjector::attach_metrics(MetricsRegistry& registry,
       &registry.counter(prefix + ".qdma_fetch_errors");
   metrics_.qdma_completion_errors =
       &registry.counter(prefix + ".qdma_completion_errors");
+  metrics_.media_corruptions =
+      &registry.counter(prefix + ".media_corruptions");
+  metrics_.dma_corruptions = &registry.counter(prefix + ".dma_corruptions");
+  metrics_.torn_writes = &registry.counter(prefix + ".torn_writes");
 }
 
 void FaultInjector::injected(Counter* metric, std::uint64_t& stat) {

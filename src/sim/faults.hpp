@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,37 @@ struct OsdCrashEvent {
   Nanos crash_at = 0;
   Nanos restart_at = 0;
   Nanos mark_out_after = ms(2);
+  /// Crash lands mid-write: the first store write applied after the crash
+  /// persists only a prefix of its payload, leaving a torn object. Only
+  /// honoured when FrameworkConfig::integrity is armed — the write-intent
+  /// journal is what makes the tear detectable and replayable; without it
+  /// the model keeps its pre-integrity atomic-write semantics.
+  bool torn_write = false;
+};
+
+/// Silent media corruption: at time `at`, flip `bit_flips` random bits in
+/// the stored bytes of object (pool, oid[, shard]) on `osd` (-1 = the first
+/// live OSD holding the object). Checksum metadata is left stale, exactly
+/// like latent sector corruption under a real FS — only a checksum verify
+/// can catch it. No-op (and no rng draw) if no copy exists at `at`.
+struct MediaCorruptionEvent {
+  std::uint32_t pool = 0;
+  std::uint64_t oid = 0;
+  std::int32_t shard = -1;
+  int osd = -1;
+  Nanos at = 0;
+  unsigned bit_flips = 8;
+};
+
+/// Silent DMA corruption: inside [start, end) each H2C/C2H transfer is
+/// corrupted with `corrupt_prob` — `bit_flips` random bits flip in the
+/// payload while the Completion Engine still reports success (the QDMA
+/// model has no end-to-end data CRC; ROADMAP tracks adding one).
+struct DmaCorruptionWindow {
+  Nanos start = 0;
+  Nanos end = 0;
+  double corrupt_prob = 0.0;
+  unsigned bit_flips = 4;
 };
 
 /// QDMA error window: with `fetch_error_prob` the Descriptor Engine aborts
@@ -73,9 +105,12 @@ struct FaultPlan {
   std::vector<LinkFaultWindow> links;
   std::vector<OsdCrashEvent> osd_crashes;
   std::vector<QdmaFaultWindow> qdma;
+  std::vector<MediaCorruptionEvent> media;
+  std::vector<DmaCorruptionWindow> dma_corruption;
 
   bool enabled() const {
-    return !links.empty() || !osd_crashes.empty() || !qdma.empty();
+    return !links.empty() || !osd_crashes.empty() || !qdma.empty() ||
+           !media.empty() || !dma_corruption.empty();
   }
 };
 
@@ -87,10 +122,14 @@ struct FaultStats {
   std::uint64_t crash_dropped_msgs = 0;
   std::uint64_t qdma_fetch_errors = 0;
   std::uint64_t qdma_completion_errors = 0;
+  std::uint64_t media_corruptions = 0;
+  std::uint64_t dma_corruptions = 0;
+  std::uint64_t torn_writes = 0;
 
   std::uint64_t total() const {
     return frames_dropped + frames_delayed + osd_crashes + osd_restarts +
-           crash_dropped_msgs + qdma_fetch_errors + qdma_completion_errors;
+           crash_dropped_msgs + qdma_fetch_errors + qdma_completion_errors +
+           media_corruptions + dma_corruptions + torn_writes;
   }
 };
 
@@ -118,15 +157,30 @@ class FaultInjector {
   // --- QDMA hooks (fpga::QdmaEngine) ------------------------------------
   bool should_fail_descriptor_fetch();
   bool should_fail_completion();
+  /// Flip bits in a DMA payload if a DmaCorruptionWindow is active (silent:
+  /// the Completion Engine still reports success). Draws from the corruption
+  /// stream only while a window is active and the payload is non-empty.
+  /// Returns true when the payload was corrupted.
+  bool maybe_corrupt_dma(std::span<std::uint8_t> payload);
 
   // --- OSD crash accounting (rados::Cluster drives the schedule) --------
   void count_osd_crash();
   void count_osd_restart();
   void count_crash_dropped_message();
 
+  // --- corruption hooks (rados::Cluster / rados::Osd drive these) --------
+  /// Flip `bit_flips` random bits of `bytes` in place (no counting — the
+  /// caller resolves which OSD/object is hit and counts the event kind).
+  void corrupt_bytes(std::span<std::uint8_t> bytes, unsigned bit_flips);
+  void count_media_corruption();
+  void count_torn_write();
+  /// How many bytes of a torn write land (uniform in [1, size - 1]).
+  std::uint64_t torn_prefix(std::uint64_t size);
+
   /// Publish injection counters under "<prefix>." (frames_dropped,
   /// frames_delayed, osd_crashes, osd_restarts, crash_dropped_msgs,
-  /// qdma_fetch_errors, qdma_completion_errors).
+  /// qdma_fetch_errors, qdma_completion_errors, media_corruptions,
+  /// dma_corruptions, torn_writes).
   void attach_metrics(MetricsRegistry& registry, const std::string& prefix);
 
  private:
@@ -139,6 +193,7 @@ class FaultInjector {
   // replayable even when another domain's traffic pattern shifts.
   Rng net_rng_;
   Rng qdma_rng_;
+  Rng corrupt_rng_;
   FaultStats stats_;
   PipelineValidator* validator_ = nullptr;
 
@@ -150,6 +205,9 @@ class FaultInjector {
     Counter* crash_dropped_msgs = nullptr;
     Counter* qdma_fetch_errors = nullptr;
     Counter* qdma_completion_errors = nullptr;
+    Counter* media_corruptions = nullptr;
+    Counter* dma_corruptions = nullptr;
+    Counter* torn_writes = nullptr;
   };
   MetricHandles metrics_;
 };

@@ -5,6 +5,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/crc32c.hpp"
 #include "common/histogram.hpp"
 #include "common/ring_buffer.hpp"
 #include "common/rng.hpp"
@@ -202,6 +203,73 @@ TEST(Result, HoldsValueOrStatus) {
   Result<int> e(Errc::not_found, "nope");
   EXPECT_FALSE(e.ok());
   EXPECT_EQ(e.status().code(), Errc::not_found);
+}
+
+// RFC 3720 appendix B.4 test vectors for CRC-32C — the contract the whole
+// integrity subsystem (and the TCP offload's segment digest) rests on.
+TEST(Crc32c, Rfc3720KnownVectors) {
+  const std::vector<std::uint8_t> zeros(32, 0x00);
+  EXPECT_EQ(crc32c(zeros), 0x8a9136aau);
+
+  const std::vector<std::uint8_t> ones(32, 0xff);
+  EXPECT_EQ(crc32c(ones), 0x62a8ab43u);
+
+  std::vector<std::uint8_t> ascending(32), descending(32);
+  for (unsigned i = 0; i < 32; ++i) {
+    ascending[i] = static_cast<std::uint8_t>(i);
+    descending[i] = static_cast<std::uint8_t>(31 - i);
+  }
+  EXPECT_EQ(crc32c(ascending), 0x46dd794eu);
+  EXPECT_EQ(crc32c(descending), 0x113fdb5cu);
+}
+
+TEST(Crc32c, Rfc3720IscsiReadCommandVector) {
+  const std::vector<std::uint8_t> pdu = {
+      0x01, 0xc0, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x14, 0x00, 0x00, 0x00, 0x00, 0x00, 0x04, 0x00,
+      0x00, 0x00, 0x00, 0x14, 0x00, 0x00, 0x00, 0x18, 0x28, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+  };
+  EXPECT_EQ(crc32c(pdu), 0xd9963a56u);
+}
+
+TEST(Crc32c, ChainingMatchesOneShot) {
+  std::vector<std::uint8_t> buf(1000);
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    buf[i] = static_cast<std::uint8_t>(i * 7 + 3);
+  const std::span<const std::uint8_t> whole(buf);
+  EXPECT_EQ(crc32c(whole.subspan(300), crc32c(whole.first(300))),
+            crc32c(whole));
+  EXPECT_EQ(crc32c({}), 0u) << "empty input is the identity";
+}
+
+TEST(Crc32c, BlockChecksumsSplitAtBlockBoundaries) {
+  std::vector<std::uint8_t> buf(2 * kChecksumBlockBytes + 100);
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    buf[i] = static_cast<std::uint8_t>(i);
+  const std::span<const std::uint8_t> whole(buf);
+
+  const auto sums = block_checksums(whole);
+  ASSERT_EQ(sums.size(), 3u);
+  EXPECT_EQ(sums[0], crc32c(whole.first(kChecksumBlockBytes)));
+  EXPECT_EQ(sums[1],
+            crc32c(whole.subspan(kChecksumBlockBytes, kChecksumBlockBytes)));
+  EXPECT_EQ(sums[2], crc32c(whole.subspan(2 * kChecksumBlockBytes)))
+      << "short tail block gets its own checksum";
+}
+
+TEST(Crc32c, BlockChecksumsRespectUnalignedBase) {
+  std::vector<std::uint8_t> buf(kChecksumBlockBytes);
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    buf[i] = static_cast<std::uint8_t>(i * 13 + 1);
+  const std::span<const std::uint8_t> whole(buf);
+
+  // Starting 100 bytes before a block boundary: the first checksum covers
+  // only the partial head up to the boundary, then full blocks follow.
+  const auto sums = block_checksums(whole, kChecksumBlockBytes - 100);
+  ASSERT_EQ(sums.size(), 2u);
+  EXPECT_EQ(sums[0], crc32c(whole.first(100)));
+  EXPECT_EQ(sums[1], crc32c(whole.subspan(100)));
 }
 
 }  // namespace

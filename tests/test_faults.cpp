@@ -105,6 +105,9 @@ struct ChaosOutcome {
   std::uint64_t timeouts = 0;
   std::uint64_t degraded_reads = 0;
   std::uint64_t qdma_retries = 0;
+  std::uint64_t checksum_failures = 0;  // integrity runs: detections
+  std::uint64_t read_repairs = 0;
+  std::uint64_t torn_replayed = 0;
   sim::FaultStats faults;
 };
 
@@ -112,14 +115,9 @@ struct ChaosOutcome {
 /// and writes against a shadow model (offset -> expected fill, with writes
 /// whose outcome errored marked uncertain), then — after every fault window
 /// has closed — a full read-back verification of all certain offsets.
-ChaosOutcome chaos_run(FaultKind kind, std::uint64_t seed) {
+ChaosOutcome chaos_run_with(const core::FrameworkConfig& cfg,
+                            std::uint64_t seed) {
   sim::Simulator sim;
-  core::FrameworkConfig cfg;
-  cfg.variant = core::VariantKind::delibak;
-  cfg.pool_mode = seed % 2 == 0 ? core::PoolMode::replicated
-                                : core::PoolMode::erasure;
-  cfg.image_size = 32 * MiB;
-  cfg.fault_plan = plan_for(kind, seed);
   core::Framework fw(sim, cfg);
 
   constexpr std::uint64_t kBlock = 4096;
@@ -227,8 +225,23 @@ ChaosOutcome chaos_run(FaultKind kind, std::uint64_t seed) {
   out.degraded_reads = fw.rados_client().degraded_reads();
   if (const Counter* c = fw.metrics().find_counter("io.retries.qdma"))
     out.qdma_retries = c->value();
+  // Client OSD-side detections + framework DMA detections share one counter.
+  if (const Counter* c = fw.metrics().find_counter("integrity.checksum_failures"))
+    out.checksum_failures = c->value();
+  out.read_repairs = fw.rados_client().read_repairs();
+  out.torn_replayed = fw.cluster().torn_writes_replayed();
   out.faults = fw.faults()->stats();
   return out;
+}
+
+ChaosOutcome chaos_run(FaultKind kind, std::uint64_t seed) {
+  core::FrameworkConfig cfg;
+  cfg.variant = core::VariantKind::delibak;
+  cfg.pool_mode = seed % 2 == 0 ? core::PoolMode::replicated
+                                : core::PoolMode::erasure;
+  cfg.image_size = 32 * MiB;
+  cfg.fault_plan = plan_for(kind, seed);
+  return chaos_run_with(cfg, seed);
 }
 
 constexpr std::uint64_t kSeeds = 32;
@@ -290,6 +303,94 @@ TEST(ChaosSweep, QdmaErrorsSurvivedByDmaRedrive) {
   EXPECT_GT(agg.faults.qdma_fetch_errors + agg.faults.qdma_completion_errors,
             0u);
   EXPECT_GT(agg.qdma_retries, 0u) << "UIFD must re-drive failed DMAs";
+  EXPECT_GT(agg.completed_ok, agg.errored);
+}
+
+// --- Integrity chaos: all three corruption kinds armed at once --------------
+
+/// Media bit-flips in stored objects, a silent-DMA-corruption window, and a
+/// torn-write OSD crash — against an integrity-armed stack. Each media event
+/// hits a distinct object so single-copy redundancy survives and read-repair
+/// (not scrub) is what must heal the damage.
+core::FrameworkConfig integrity_chaos_config(std::uint64_t seed) {
+  core::FrameworkConfig cfg;
+  cfg.variant = core::VariantKind::delibak;
+  cfg.pool_mode = seed % 2 == 0 ? core::PoolMode::replicated
+                                : core::PoolMode::erasure;
+  cfg.image_size = 32 * MiB;
+  cfg.integrity = true;
+
+  // Pool id and object ids are deterministic per config: a fault-free probe
+  // stack reveals the media-event targets (same trick as FaultAcceptance).
+  std::uint32_t pool = 0;
+  std::vector<std::uint64_t> oids;
+  {
+    sim::Simulator probe_sim;
+    core::Framework probe(probe_sim, cfg);
+    pool = static_cast<std::uint32_t>(probe.image().spec().pool);
+    for (std::uint64_t off = 0; off < cfg.image_size; off += cfg.object_size)
+      oids.push_back(probe.image().oid_of(off));
+  }
+
+  sim::FaultPlan plan;
+  plan.seed = seed;
+  for (unsigned i = 0; i < 4; ++i) {
+    sim::MediaCorruptionEvent ev;
+    ev.pool = pool;
+    // Stride 3 over 8 objects: the four targets are distinct, so every
+    // object keeps a verified copy (or >= k clean shards) to repair from.
+    ev.oid = oids[(seed + 3 * i) % oids.size()];
+    if (cfg.pool_mode == core::PoolMode::erasure)
+      ev.shard =
+          static_cast<std::int32_t>((seed + i) % cfg.ec_profile.total());
+    ev.at = us(400) + i * us(900);
+    plan.media.push_back(ev);
+  }
+  plan.dma_corruption.push_back(
+      sim::DmaCorruptionWindow{us(200), ms(4), 0.02, 4});
+  sim::OsdCrashEvent crash;
+  crash.osd = static_cast<int>(seed % 32);
+  crash.crash_at = ms(1);
+  crash.restart_at = ms(6);
+  crash.mark_out_after = -1;
+  crash.torn_write = true;
+  plan.osd_crashes.push_back(crash);
+  cfg.fault_plan = plan;
+  return cfg;
+}
+
+TEST(ChaosSweep, IntegrityArmedCorruptionNeverYieldsWrongBytes) {
+  ChaosOutcome agg;
+  const std::uint64_t base = base_seed();
+  for (std::uint64_t i = 0; i < kSeeds; ++i) {
+    const std::uint64_t seed = base + i;
+    SCOPED_TRACE("integrity seed=" + std::to_string(seed));
+    const ChaosOutcome out = chaos_run_with(integrity_chaos_config(seed), seed);
+    EXPECT_EQ(out.submitted, out.completed_ok + out.errored)
+        << "lost I/Os: neither completed nor errored";
+    EXPECT_EQ(out.verify_mismatches, 0u)
+        << "a read returned wrong bytes despite armed checksums";
+    EXPECT_EQ(out.leaks, 0u)
+        << "a detected corruption neither repaired nor errored";
+    agg.submitted += out.submitted;
+    agg.completed_ok += out.completed_ok;
+    agg.errored += out.errored;
+    agg.checksum_failures += out.checksum_failures;
+    agg.read_repairs += out.read_repairs;
+    agg.torn_replayed += out.torn_replayed;
+    agg.faults.media_corruptions += out.faults.media_corruptions;
+    agg.faults.dma_corruptions += out.faults.dma_corruptions;
+    agg.faults.torn_writes += out.faults.torn_writes;
+  }
+  // The sweep must have exercised all three corruption kinds and actually
+  // caught corruption — a quiet pass would mean the plan injected nothing.
+  EXPECT_GT(agg.faults.media_corruptions, 0u);
+  EXPECT_GT(agg.faults.dma_corruptions, 0u);
+  EXPECT_GT(agg.faults.torn_writes, 0u);
+  EXPECT_GT(agg.checksum_failures, 0u) << "injected corruption went undetected";
+  EXPECT_GT(agg.read_repairs, 0u);
+  EXPECT_GT(agg.torn_replayed, 0u)
+      << "restart must replay the torn write-intent journal";
   EXPECT_GT(agg.completed_ok, agg.errored);
 }
 

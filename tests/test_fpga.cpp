@@ -248,9 +248,12 @@ TEST(Dfx, RecommendationMatchesPaperGuidance) {
 }
 
 TEST(TcpIp, ChecksumKnownVector) {
-  // RFC 1071 example bytes.
-  const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
-  EXPECT_EQ(internet_checksum(data), 0xffff - ((0x0001 + 0xf203 + 0xf4f5 + 0xf6f7) % 0xffff));
+  // Segment digests are CRC32C; pin to the RFC 3720 all-zeros test vector.
+  TcpIpOffload tcp;
+  const std::vector<std::uint8_t> payload(32, 0x00);
+  auto segs = tcp.segment(payload, 0);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].checksum, 0x8a9136aau);
 }
 
 TEST(TcpIp, SegmentReassembleRoundTrip) {

@@ -2,6 +2,11 @@
 // execution of the backfill plan, and consistency verification.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
+#include "common/crc32c.hpp"
+#include "common/pipeline_validator.hpp"
 #include "common/rng.hpp"
 #include "rados/client.hpp"
 #include "rados/recovery.hpp"
@@ -150,6 +155,253 @@ TEST_F(RecoveryFixture, EmptyPlanCompletesImmediately) {
   rec.execute(empty, 4, [&] { finished = true; });
   sim_.run();
   EXPECT_TRUE(finished);
+}
+
+// --- Integrity mode: checksum scrub, repair, read-repair, journal replay ----
+
+class IntegrityFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterConfig cc;
+    cc.integrity = true;
+    cluster_ = std::make_unique<Cluster>(sim_, cc);
+    client_ = std::make_unique<RadosClient>(*cluster_);
+    client_->set_integrity(true);
+    client_->set_validator(&validator_);
+    pool_ = cluster_->create_replicated_pool("rbd", 2);
+    for (std::uint64_t oid = 0; oid < 8; ++oid) {
+      client_->write(pool_, oid, 0, pattern(8192, oid),
+                     WriteStrategy::primary_copy, [](Status) {});
+    }
+    sim_.run();
+  }
+
+  /// Flip one bit in the middle of `key`'s copy on `osd` through
+  /// raw_bytes(), bypassing checksum maintenance — latent media corruption.
+  void corrupt(int osd, const ObjectKey& key) {
+    auto bytes = cluster_->osd(osd).store().raw_bytes(key);
+    ASSERT_FALSE(bytes.empty());
+    bytes[bytes.size() / 2] ^= 0x40;
+  }
+
+  Result<std::vector<std::uint8_t>> read_back(int pool, std::uint64_t oid,
+                                              std::uint64_t length,
+                                              ReadStrategy strategy) {
+    Result<std::vector<std::uint8_t>> r = Status::Error(Errc::timed_out);
+    client_->read(pool, oid, 0, length, strategy,
+                  [&](Result<std::vector<std::uint8_t>> x) { r = std::move(x); });
+    sim_.run();
+    return r;
+  }
+
+  sim::Simulator sim_;
+  PipelineValidator validator_;
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<RadosClient> client_;
+  int pool_ = -1;
+};
+
+TEST_F(IntegrityFixture, ScrubArbitratesTwoReplicasByChecksum) {
+  // With only two replicas a byte diff cannot say which copy is bad; the
+  // checksum can. Corrupt the secondary and expect scrub to convict exactly
+  // that copy, and repair() to rewrite it from the verified sibling.
+  const auto acting = cluster_->acting_set(pool_, 4);
+  const ObjectKey key{static_cast<std::uint32_t>(pool_), 4, -1};
+  corrupt(acting[1], key);
+
+  RecoveryManager rec(*cluster_);
+  auto report = rec.scrub(pool_);
+  EXPECT_EQ(report.inconsistent, 1u);
+  EXPECT_EQ(report.checksum_failures, 1u);
+
+  auto repaired = rec.repair(pool_);
+  EXPECT_EQ(repaired.repaired, 1u);
+  EXPECT_EQ(rec.scrub_repairs(), 1u);
+
+  auto clean = rec.scrub(pool_);
+  EXPECT_EQ(clean.inconsistent, 0u);
+  EXPECT_EQ(clean.checksum_failures, 0u);
+  EXPECT_TRUE(cluster_->osd(acting[1]).store().verify(key, 0, 8192));
+  const auto r = read_back(pool_, 4, 8192, ReadStrategy::primary);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, pattern(8192, 4));
+}
+
+TEST_F(IntegrityFixture, RepairRestoresEveryCorruptedLocation) {
+  // Property: for every single-corruption location — each replica of a
+  // replicated object, each data or parity shard of every EC profile —
+  // repair() rewrites the bad copy and the object survives bit-exactly.
+  for (std::size_t r = 0; r < 2; ++r) {
+    const std::uint64_t oid = 6;
+    const auto acting = cluster_->acting_set(pool_, oid);
+    const ObjectKey key{static_cast<std::uint32_t>(pool_), oid, -1};
+    corrupt(acting[r], key);
+
+    RecoveryManager rec(*cluster_);
+    EXPECT_EQ(rec.repair(pool_).repaired, 1u) << "replica " << r;
+    EXPECT_EQ(rec.scrub(pool_).checksum_failures, 0u) << "replica " << r;
+    const auto got = read_back(pool_, oid, 8192, ReadStrategy::primary);
+    ASSERT_TRUE(got.ok()) << "replica " << r;
+    EXPECT_EQ(*got, pattern(8192, oid)) << "replica " << r;
+  }
+
+  const ec::Profile profiles[] = {{2, 1}, {3, 2}, {4, 2}};
+  for (const auto& prof : profiles) {
+    const std::string name =
+        "ec" + std::to_string(prof.k) + std::to_string(prof.m);
+    const int pool = cluster_->create_ec_pool(name, prof);
+    const std::uint64_t oid = 1;
+    const auto data = pattern(prof.k * 2048, 500 + prof.k);
+    Status wres = Status::Error(Errc::timed_out);
+    client_->write(pool, oid, 0, data, WriteStrategy::client_fanout,
+                   [&](Status s) { wres = s; });
+    sim_.run();
+    ASSERT_TRUE(wres.ok()) << name;
+
+    const auto acting = cluster_->acting_set(pool, oid);
+    ASSERT_EQ(acting.size(), prof.total());
+    for (unsigned s = 0; s < prof.total(); ++s) {
+      const ObjectKey key{static_cast<std::uint32_t>(pool), oid,
+                          static_cast<std::int32_t>(s)};
+      corrupt(acting[s], key);
+
+      RecoveryManager rec(*cluster_);
+      EXPECT_EQ(rec.repair(pool).repaired, 1u) << name << " shard " << s;
+      EXPECT_EQ(rec.scrub(pool).checksum_failures, 0u)
+          << name << " shard " << s;
+      const auto got =
+          read_back(pool, oid, data.size(), ReadStrategy::direct_shards);
+      ASSERT_TRUE(got.ok()) << name << " shard " << s;
+      EXPECT_EQ(*got, data) << name << " shard " << s;
+    }
+  }
+}
+
+TEST_F(IntegrityFixture, ReadRepairHealsCorruptPrimary) {
+  // Client reads route to the primary; its copy is corrupt. The read must
+  // return the good replica's bytes AND write them back over the bad copy.
+  const std::uint64_t oid = 2;
+  const auto acting = cluster_->acting_set(pool_, oid);
+  const ObjectKey key{static_cast<std::uint32_t>(pool_), oid, -1};
+  corrupt(acting[0], key);
+
+  const auto r = read_back(pool_, oid, 8192, ReadStrategy::primary);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_EQ(*r, pattern(8192, oid));
+  EXPECT_GE(client_->checksum_failures(), 1u);
+  EXPECT_GE(client_->read_repairs(), 1u);
+
+  sim_.run();  // drain the fire-and-forget repair write
+  EXPECT_TRUE(cluster_->osd(acting[0]).store().verify(key, 0, 8192))
+      << "read-repair must rewrite the corrupt primary copy";
+  EXPECT_EQ(validator_.verify_quiescent(), 0u);
+}
+
+TEST_F(IntegrityFixture, ReadWithAllReplicasCorruptedErrors) {
+  const std::uint64_t oid = 3;
+  const auto acting = cluster_->acting_set(pool_, oid);
+  const ObjectKey key{static_cast<std::uint32_t>(pool_), oid, -1};
+  for (const int osd : acting) corrupt(osd, key);
+
+  const auto r = read_back(pool_, oid, 8192, ReadStrategy::primary);
+  ASSERT_FALSE(r.ok()) << "no verified replica left: must error, not guess";
+  EXPECT_EQ(r.status().code(), Errc::corrupted);
+  EXPECT_EQ(validator_.verify_quiescent(), 0u)
+      << "detected corruption must resolve (here: by surfacing the error)";
+}
+
+TEST_F(IntegrityFixture, EcReadRepairsCorruptShard) {
+  const int pool = cluster_->create_ec_pool("ec", ec::Profile{4, 2});
+  const std::uint64_t oid = 9;
+  const auto data = pattern(16384, 900);
+  client_->write(pool, oid, 0, data, WriteStrategy::client_fanout,
+                 [](Status) {});
+  sim_.run();
+
+  const auto acting = cluster_->acting_set(pool, oid);
+  const ObjectKey key{static_cast<std::uint32_t>(pool), oid, 1};
+  corrupt(acting[1], key);
+
+  const auto r = read_back(pool, oid, data.size(), ReadStrategy::direct_shards);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_EQ(*r, data) << "decode from the k verified shards, not the bad one";
+  EXPECT_GE(client_->read_repairs(), 1u);
+
+  sim_.run();
+  EXPECT_TRUE(cluster_->osd(acting[1]).store().verify(
+      key, 0, cluster_->osd(acting[1]).store().object_size(key)))
+      << "read-repair must rewrite the corrupt shard from the decode";
+  EXPECT_EQ(validator_.verify_quiescent(), 0u);
+}
+
+TEST_F(IntegrityFixture, EcPrimaryReadFallsBackOnCorruptPrimaryShard) {
+  const int pool = cluster_->create_ec_pool("ec", ec::Profile{4, 2});
+  const std::uint64_t oid = 11;
+  const auto data = pattern(16384, 1100);
+  client_->write(pool, oid, 0, data, WriteStrategy::client_fanout,
+                 [](Status) {});
+  sim_.run();
+
+  // Corrupt the primary's own shard: the primary-gather read reports
+  // corruption and the client converts to a direct-shard gather + decode.
+  const auto acting = cluster_->acting_set(pool, oid);
+  const ObjectKey key{static_cast<std::uint32_t>(pool), oid, 0};
+  corrupt(acting[0], key);
+
+  const auto r = read_back(pool, oid, data.size(), ReadStrategy::primary);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_EQ(*r, data);
+  EXPECT_EQ(validator_.verify_quiescent(), 0u);
+}
+
+TEST_F(IntegrityFixture, TornWriteReplaysFromJournalOnRestart) {
+  const std::uint64_t oid = 5;
+  const auto acting = cluster_->acting_set(pool_, oid);
+  auto& store = cluster_->osd(acting[0]).store();
+  const ObjectKey key{static_cast<std::uint32_t>(pool_), oid, -1};
+  const auto update = pattern(4096, 5000);
+
+  // Crash mid-apply: intent journaled, only half the bytes landed, block
+  // checksums stale. verify() must flag it; restart must finish the job.
+  store.journal_begin(key, 0, update);
+  store.apply_torn(key, 0, update, update.size() / 2);
+  EXPECT_FALSE(store.verify(key, 0, update.size()));
+  EXPECT_EQ(store.journal_size(), 1u);
+
+  cluster_->crash_osd(acting[0]);
+  cluster_->restart_osd(acting[0]);
+  EXPECT_EQ(cluster_->torn_writes_replayed(), 1u);
+  EXPECT_EQ(store.journal_size(), 0u);
+  EXPECT_TRUE(store.verify(key, 0, update.size()));
+  EXPECT_EQ(store.read(key, 0, update.size()), update);
+
+  const auto r = read_back(pool_, oid, update.size(), ReadStrategy::primary);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, update);
+}
+
+TEST(ObjectStoreJournal, ReplayIsDeterministicAndIdempotent) {
+  // Two stores fed the identical op sequence replay to identical contents;
+  // a second replay is a no-op (the journal is cleared by the first).
+  auto run = [](ObjectStore& st) {
+    st.set_integrity(true);
+    const ObjectKey key{0, 1, -1};
+    const auto base = pattern(8192, 1);
+    st.write(key, 0, base, block_checksums(base));
+    const auto update = pattern(4096, 2);
+    st.journal_begin(key, 2048, update);
+    st.apply_torn(key, 2048, update, 1000);
+    EXPECT_FALSE(st.verify(key, 0, 8192));
+    EXPECT_EQ(st.journal_replay(), 1u);
+    EXPECT_EQ(st.journal_replay(), 0u) << "replay must clear the journal";
+    EXPECT_TRUE(st.verify(key, 0, 8192));
+    std::vector<std::uint8_t> want = base;
+    std::copy(update.begin(), update.end(), want.begin() + 2048);
+    EXPECT_EQ(st.read(key, 0, 8192), want);
+    return st.read(key, 0, 8192);
+  };
+  ObjectStore a, b;
+  EXPECT_EQ(run(a), run(b));
 }
 
 }  // namespace
