@@ -1,0 +1,201 @@
+#include "sim/calendar_queue.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace dk::sim {
+
+namespace {
+
+struct EventBefore {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.t != b.t) return a.t < b.t;
+    return a.seq < b.seq;
+  }
+};
+
+/// Key-only comparison against a detached (relocated) event image.
+bool before_key(const Event& e, Nanos t, std::uint64_t seq) {
+  if (e.t != t) return e.t < t;
+  return e.seq < seq;
+}
+
+/// Insertion sort that *relocates* events bytewise instead of move-assigning
+/// them. Event is bytewise-relocatable by construction (EventFn's move is a
+/// memcpy — see event_pool.hpp), so shifting an element is one 64-byte copy
+/// with no moved-from shell to null out or destroy. Claim runs are small
+/// (~kTargetPerBucket events) and nearly random, where this beats std::sort's
+/// move-swap machinery; large runs (first claim after a huge reseed) fall
+/// back to std::sort.
+void sort_run(Event* first, Event* last) {
+  if (last - first > 96) {
+    std::sort(first, last, EventBefore{});
+    return;
+  }
+  for (Event* i = first + 1; i < last; ++i) {
+    if (!before_key(*i, i[-1].t, i[-1].seq)) continue;
+    alignas(Event) std::byte tmp[sizeof(Event)];
+    std::memcpy(tmp, static_cast<void*>(i), sizeof(Event));
+    const Nanos t = reinterpret_cast<Event*>(tmp)->t;
+    const std::uint64_t seq = reinterpret_cast<Event*>(tmp)->seq;
+    Event* j = i;
+    do {
+      std::memcpy(static_cast<void*>(j), static_cast<void*>(j - 1),
+                  sizeof(Event));
+      --j;
+    } while (j > first && !before_key(j[-1], t, seq));
+    std::memcpy(static_cast<void*>(j), tmp, sizeof(Event));
+  }
+}
+
+}  // namespace
+
+void CalendarQueue::insert_sorted(Nanos t, std::uint64_t seq, EventFn fn) {
+  // New events carry the highest seq, so the common case (t at or past the
+  // run's tail) appends in O(1); the memmove worst case is bounded by one
+  // bucket's worth of events.
+  auto it = std::lower_bound(
+      sorted_.begin() + static_cast<std::ptrdiff_t>(head_), sorted_.end(),
+      std::pair<Nanos, std::uint64_t>{t, seq},
+      [](const Event& e, const std::pair<Nanos, std::uint64_t>& key) {
+        if (e.t != key.first) return e.t < key.first;
+        return e.seq < key.second;
+      });
+  sorted_.insert(it, Event{t, seq, std::move(fn)});
+}
+
+void CalendarQueue::push_overflow(Nanos t, std::uint64_t seq, EventFn fn) {
+  if (overflow_.empty()) {
+    overflow_lo_ = overflow_hi_ = t;
+  } else {
+    if (t < overflow_lo_) overflow_lo_ = t;
+    if (t > overflow_hi_) overflow_hi_ = t;
+  }
+  overflow_.emplace_back(t, seq, std::move(fn));
+}
+
+std::size_t CalendarQueue::next_occupied() const {
+  std::size_t w = cur_ >> 6;
+  if (w >= occupied_.size()) return std::size_t(-1);
+  std::uint64_t word = occupied_[w] & (~std::uint64_t{0} << (cur_ & 63));
+  while (word == 0) {
+    if (++w == occupied_.size()) return std::size_t(-1);
+    word = occupied_[w];
+  }
+  return (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+}
+
+bool CalendarQueue::refill() {
+  sorted_.clear();
+  head_ = 0;
+  for (;;) {
+    if (seeded_) {
+      const std::size_t idx = next_occupied();
+      if (idx != std::size_t(-1)) {
+        cur_ = idx + 1;
+        claimed_end_ = base_ + (static_cast<Nanos>(idx + 1) << shift_);
+        occupied_[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+        // Sort-on-claim: one O(k log k) pass per bucket instead of O(log n)
+        // heap maintenance per event. Swapping buffers (sorted_ is empty
+        // here) circulates capacities through the wheel — steady state
+        // allocates nothing.
+        sorted_.swap(buckets_[idx]);
+        // Hide the next claim's cold read under this run's sort+execution:
+        // the bitmap already knows which bucket comes next.
+        const std::size_t nxt = next_occupied();
+        if (nxt != std::size_t(-1)) {
+          const std::vector<Event>& nb = buckets_[nxt];
+          const std::size_t lines = nb.size() < 4 ? nb.size() : 4;
+          for (std::size_t i = 0; i < lines; ++i) {
+            __builtin_prefetch(nb.data() + i);
+          }
+        }
+        sort_run(sorted_.data(), sorted_.data() + sorted_.size());
+        return true;
+      }
+      seeded_ = false;  // wheel exhausted; pushes go to overflow_ again
+    }
+    if (overflow_.empty()) return false;  // queue drained
+    reseed();
+    if (!sorted_.empty()) return true;  // direct-sort mode filled the run
+  }
+}
+
+void CalendarQueue::reseed() {
+  DK_DCHECK(!overflow_.empty());
+  ++reseeds_;
+
+  if (overflow_.size() <= kDirectSortMax) {
+    // Tiny pending set: the wheel's bookkeeping costs more than it saves.
+    // Sort everything straight into the run and own the whole horizon, so
+    // in-run pushes binary-insert (insertion-sort mode) until it drains.
+    sorted_.swap(overflow_);
+    std::sort(sorted_.begin(), sorted_.end(), EventBefore{});
+    seeded_ = true;
+    claimed_end_ = wheel_end_ = overflow_hi_ + 1;
+    cur_ = buckets_.size();  // wheel is spent; bitmap is already all-clear
+    return;
+  }
+
+  // Bucket count tracks the pending-event count (clamped); the power-of-two
+  // bucket width is derived so the wheel horizon covers the observed span —
+  // sparse far-apart events get wide buckets (no empty-bucket scans), dense
+  // cohorts get narrow ones (small sort-on-claim batches).
+  const Nanos lo = overflow_lo_;
+  const std::size_t nb = std::bit_ceil(std::clamp(
+      overflow_.size() / kTargetPerBucket, kMinBuckets, kMaxBuckets));
+  const auto span = static_cast<std::uint64_t>(overflow_hi_ - lo);
+  const std::uint64_t target_width = span / nb + 1;
+  shift_ = static_cast<unsigned>(std::bit_width(target_width - 1));
+  if (shift_ > kMaxShift) shift_ = kMaxShift;
+  const Nanos width = Nanos{1} << shift_;
+  base_ = lo & ~(width - 1);
+  wheel_end_ = base_ + (static_cast<Nanos>(nb) << shift_);
+  cur_ = 0;
+  claimed_end_ = base_;
+  seeded_ = true;
+  buckets_.resize(nb);
+  occupied_.assign((nb + 63) / 64, 0);
+
+  // Redistribute: near events into buckets, the far tail stays in overflow
+  // (compacted in place) for a later reseed. At minimum the earliest event
+  // lands in bucket 0, so every reseed makes progress.
+  std::size_t kept = 0;
+  Nanos klo = std::numeric_limits<Nanos>::max();
+  Nanos khi = std::numeric_limits<Nanos>::min();
+  for (Event& e : overflow_) {
+    if (e.t < wheel_end_) {
+      const auto idx = static_cast<std::size_t>((e.t - base_) >> shift_);
+      occupied_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+      buckets_[idx].push_back(std::move(e));
+    } else {
+      if (e.t < klo) klo = e.t;
+      if (e.t > khi) khi = e.t;
+      if (&overflow_[kept] != &e) overflow_[kept] = std::move(e);
+      ++kept;
+    }
+  }
+  overflow_.resize(kept);
+  overflow_lo_ = klo;
+  overflow_hi_ = khi;
+}
+
+std::size_t CalendarQueue::pop_cohort(std::vector<Event>& out) {
+  const Event* f = front();
+  if (f == nullptr) return 0;
+  const Nanos t0 = f->t;
+  std::size_t n = 0;
+  while (head_ < sorted_.size() && sorted_[head_].t == t0) {
+    out.push_back(std::move(sorted_[head_]));
+    ++head_;
+    ++n;
+  }
+  size_ -= n;
+  return n;
+}
+
+}  // namespace dk::sim

@@ -1,0 +1,165 @@
+// Calendar-queue event scheduler for the discrete-event simulator.
+//
+// Replaces the binary-heap `std::priority_queue` with a bucketed time wheel:
+//
+//   sorted_   — the "claimed" near-future run, ascending (t, seq), consumed
+//               from the front via an index (no per-pop memmove) and executed
+//               in place. Everything with t < claimed_end_ lives here.
+//   buckets_  — the wheel: N power-of-two-width buckets covering
+//               [base_, wheel_end_). A push lands in bucket (t-base_)>>shift_
+//               unsorted, O(1); an occupancy bitmap makes skipping empty
+//               buckets O(64) per word. When the claimed run drains, the next
+//               occupied bucket is claimed by *swapping* its buffer with
+//               sorted_ (capacities circulate, no allocation) and sorted once.
+//   overflow_ — everything at or beyond wheel_end_, unsorted, with its (lo,
+//               hi) timestamp bounds tracked incrementally. When the wheel is
+//               exhausted, reseed() re-anchors it at the earliest overflow
+//               timestamp, re-derives the bucket width from the observed
+//               event density, and redistributes. Small pending sets
+//               (<= kDirectSortMax) skip the wheel entirely and sort straight
+//               into the run — a plain sorted vector is faster at that size.
+//
+// Amortized O(1) push/pop versus the heap's O(log n), and — the property the
+// GoldenRegression pins — the pop order is *exactly* ascending (t, seq),
+// bit-identical to the heap it replaces. Same-timestamp cohorts are always
+// contiguous in sorted_, so the simulator drains a whole timestamp without
+// re-entering the claim machinery (cohort_front), and tests can grab one via
+// pop_cohort().
+//
+// The push / front / take_front fast paths are defined inline here: they are
+// the per-event cost of every simulation in this repo (docs/PERFORMANCE.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/event_pool.hpp"
+
+namespace dk::sim {
+
+/// One scheduled event: exactly one 64-byte cache line. Moves, never copies,
+/// between queue stages.
+struct Event {
+  Nanos t = 0;
+  std::uint64_t seq = 0;
+  EventFn fn;
+};
+
+static_assert(sizeof(Event) == 64, "Event must stay one cache line");
+
+class CalendarQueue {
+ public:
+  CalendarQueue() = default;
+  CalendarQueue(const CalendarQueue&) = delete;
+  CalendarQueue& operator=(const CalendarQueue&) = delete;
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  /// Insert; (t, seq) must be unique per queue (seq is the tie-break).
+  void push(Nanos t, std::uint64_t seq, EventFn fn) {
+    ++size_;
+    if (seeded_) {
+      if (t >= claimed_end_) {
+        if (t < wheel_end_) {
+          const auto idx = static_cast<std::size_t>((t - base_) >> shift_);
+          occupied_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+          buckets_[idx].emplace_back(t, seq, std::move(fn));
+          return;
+        }
+      } else {
+        // The claimed run already owns this window: binary-insert to keep
+        // the ascending (t, seq) order exact.
+        insert_sorted(t, seq, std::move(fn));
+        return;
+      }
+    }
+    push_overflow(t, seq, std::move(fn));
+  }
+
+  /// Pointer to the earliest (t, seq) event, or nullptr when empty. Valid
+  /// until the next push/pop.
+  const Event* front() {
+    if (head_ == sorted_.size() && !refill()) return nullptr;
+    return &sorted_[head_];
+  }
+
+  /// The earliest event only if it shares timestamp `t0` — never touches the
+  /// claim machinery, so draining a same-timestamp cohort is pure pointer
+  /// bumps. (Same-t events are always contiguous at the front of sorted_,
+  /// and an in-callback push at t0 binary-inserts right there.)
+  const Event* cohort_front(Nanos t0) {
+    return head_ < sorted_.size() && sorted_[head_].t == t0 ? &sorted_[head_]
+                                                            : nullptr;
+  }
+
+  /// Move the front event's callback out and advance. Caller must have just
+  /// observed a non-null front()/cohort_front().
+  EventFn take_front() {
+    DK_DCHECK(head_ < sorted_.size());
+    --size_;
+    return std::move(sorted_[head_++].fn);
+  }
+
+  /// front() under its historical name (tests, step-driven callers).
+  const Event* peek() { return front(); }
+
+  /// Remove and return the earliest event (moved out, never copied).
+  Event pop() {
+    const Event* f = front();
+    DK_DCHECK(f != nullptr);
+    (void)f;
+    --size_;
+    return std::move(sorted_[head_++]);
+  }
+
+  /// Move every event sharing the earliest timestamp into `out` (appended in
+  /// seq order). Returns the cohort size, 0 when empty.
+  std::size_t pop_cohort(std::vector<Event>& out);
+
+  /// Introspection for tests and the performance playbook.
+  std::uint64_t reseeds() const { return reseeds_; }
+  std::size_t bucket_count() const { return buckets_.size(); }
+  Nanos bucket_width() const { return Nanos{1} << shift_; }
+
+ private:
+  static constexpr std::size_t kMinBuckets = 64;
+  static constexpr std::size_t kMaxBuckets = std::size_t{1} << 15;
+  /// Aim for this many events per bucket: one sort-on-claim over ~8 events
+  /// costs less than the cache misses of a wheel 8x the size.
+  static constexpr std::size_t kTargetPerBucket = 4;
+  /// Pending sets this small bypass the wheel (sorted-vector mode).
+  static constexpr std::size_t kDirectSortMax = 64;
+  /// Bucket width cap: 2^40 ns (~18 min) per bucket covers any sane horizon.
+  static constexpr unsigned kMaxShift = 40;
+
+  /// Refill sorted_ when the run is drained: claim the next occupied bucket,
+  /// reseeding the wheel from overflow_ as needed. Returns false when the
+  /// queue is empty. Precondition: head_ == sorted_.size().
+  bool refill();
+  void reseed();
+  void insert_sorted(Nanos t, std::uint64_t seq, EventFn fn);
+  void push_overflow(Nanos t, std::uint64_t seq, EventFn fn);
+  std::size_t next_occupied() const;
+
+  std::vector<Event> sorted_;  // ascending (t, seq); live run is [head_, end)
+  std::size_t head_ = 0;
+  std::vector<std::vector<Event>> buckets_;
+  std::vector<std::uint64_t> occupied_;  // bit per bucket: non-empty
+  std::size_t cur_ = 0;     // next unclaimed bucket index
+  Nanos base_ = 0;          // start of bucket 0's window
+  unsigned shift_ = 0;      // bucket width = 1 << shift_ nanoseconds
+  Nanos claimed_end_ = 0;   // sorted_ owns every event with t < claimed_end_
+  Nanos wheel_end_ = 0;     // first timestamp beyond the wheel
+  std::vector<Event> overflow_;
+  Nanos overflow_lo_ = 0;   // incremental bounds of overflow_ timestamps
+  Nanos overflow_hi_ = 0;   // (valid only while overflow_ is non-empty)
+  std::size_t size_ = 0;
+  bool seeded_ = false;
+  std::uint64_t reseeds_ = 0;
+};
+
+}  // namespace dk::sim

@@ -1,0 +1,49 @@
+#include "sim/event_pool.hpp"
+
+namespace dk::sim {
+
+EventPool::~EventPool() {
+  // Slabs free wholesale; individual chunks need no teardown. A nonzero
+  // live() here means some EventFn outlived the pool (or leaked) — tests
+  // assert live() drains to zero instead of checking in a destructor that
+  // runs during thread teardown.
+}
+
+void* EventPool::alloc(std::size_t bytes) {
+  ++allocs_;
+  ++live_;
+  if (bytes > kChunkBytes) {
+    ++oversize_allocs_;
+    return ::operator new(bytes);
+  }
+  if (free_ != nullptr) {
+    FreeNode* n = free_;
+    free_ = n->next;
+    ++freelist_reuses_;
+    return n;
+  }
+  if (next_chunk_ == kChunksPerSlab) {
+    slabs_.push_back(std::make_unique<Chunk[]>(kChunksPerSlab));
+    next_chunk_ = 0;
+  }
+  return &slabs_.back()[next_chunk_++];
+}
+
+void EventPool::dealloc(void* p, std::size_t bytes) noexcept {
+  DK_DCHECK(live_ > 0);
+  --live_;
+  if (bytes > kChunkBytes) {
+    ::operator delete(p);
+    return;
+  }
+  auto* n = static_cast<FreeNode*>(p);
+  n->next = free_;
+  free_ = n;
+}
+
+EventPool& EventPool::local() {
+  static thread_local EventPool pool;
+  return pool;
+}
+
+}  // namespace dk::sim

@@ -11,7 +11,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 
 #include "common/units.hpp"
 #include "sim/simulator.hpp"

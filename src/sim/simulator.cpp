@@ -1,33 +1,54 @@
 #include "sim/simulator.hpp"
 
+#include <limits>
 #include <utility>
 
 namespace dk::sim {
 
-void Simulator::schedule_at(Nanos t, EventFn fn) {
-  if (t < now_) t = now_;
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
-}
-
 bool Simulator::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top returns const&; the event is copied out so the
-  // callback may schedule further events (mutating the queue) safely.
-  Event ev = queue_.top();
-  queue_.pop();
-  now_ = ev.t;
+  const Event* e = queue_.front();
+  if (e == nullptr) return false;
+  now_ = e->t;
   ++executed_;
-  ev.fn();
+  // The callback is *moved* out of the queue before running — callbacks may
+  // schedule further events (mutating the queue) safely, and nothing is
+  // ever copied (tests/test_calendar_queue.cpp counts copies to pin this).
+  EventFn fn = queue_.take_front();
+  fn();
   return true;
 }
 
 void Simulator::run() {
-  while (step()) {
+  for (;;) {
+    const Event* e = queue_.front();
+    if (e == nullptr) return;
+    const Nanos t0 = e->t;
+    now_ = t0;
+    // Batched same-timestamp delivery: the whole cohort drains with pointer
+    // bumps only; a callback that schedules another event at t0 extends the
+    // cohort in place (it binary-inserts right behind us, in seq order).
+    do {
+      EventFn fn = queue_.take_front();
+      ++executed_;
+      fn();
+      e = queue_.cohort_front(t0);
+    } while (e != nullptr);
   }
 }
 
 void Simulator::run_until(Nanos deadline) {
-  while (!queue_.empty() && queue_.top().t <= deadline) step();
+  for (;;) {
+    const Event* e = queue_.front();
+    if (e == nullptr || e->t > deadline) break;
+    const Nanos t0 = e->t;
+    now_ = t0;
+    do {
+      EventFn fn = queue_.take_front();
+      ++executed_;
+      fn();
+      e = queue_.cohort_front(t0);
+    } while (e != nullptr);
+  }
   if (now_ < deadline) now_ = deadline;
 }
 

@@ -5,21 +5,33 @@
 // events are (timestamp, sequence, callback) tuples executed in timestamp
 // order, with the sequence number breaking ties in scheduling order so runs
 // are bit-reproducible for a fixed seed.
+//
+// Hot-path design (docs/PERFORMANCE.md has the full playbook):
+//  - events live in a CalendarQueue (bucketed time wheel, amortized O(1))
+//    instead of a binary heap, with pop order still exactly (t, seq);
+//  - callbacks are EventFn (move-only, small-buffer-optimized, pool-backed)
+//    instead of std::function, so scheduling an event allocates nothing for
+//    trivially-copyable captures up to 32 bytes and recycles pool chunks
+//    otherwise;
+//  - events execute *in place* from the queue's claimed run — the only
+//    per-event data movement is the callback moving into a local — and
+//    run()/run_until() drain whole same-timestamp cohorts without
+//    re-entering the queue's claim machinery.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
 
 #include "common/units.hpp"
+#include "sim/calendar_queue.hpp"
 
 namespace dk::sim {
 
-using EventFn = std::function<void()>;
-
 class Simulator {
  public:
+  /// The simulator's callback type (see event_pool.hpp), aliased so generic
+  /// code can say `typename Sim::EventFn`.
+  using EventFn = dk::sim::EventFn;
+
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -28,7 +40,9 @@ class Simulator {
   Nanos now() const { return now_; }
 
   /// Schedule `fn` to run at absolute time `t` (clamped to >= now).
-  void schedule_at(Nanos t, EventFn fn);
+  void schedule_at(Nanos t, EventFn fn) {
+    queue_.push(t < now_ ? now_ : t, next_seq_++, std::move(fn));
+  }
 
   /// Schedule `fn` to run `delay` after now (delay clamped to >= 0).
   void schedule_after(Nanos delay, EventFn fn) {
@@ -50,22 +64,10 @@ class Simulator {
   std::uint64_t executed_events() const { return executed_; }
 
  private:
-  struct Event {
-    Nanos t;
-    std::uint64_t seq;
-    EventFn fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
-  };
-
   Nanos now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  CalendarQueue queue_;
 };
 
 }  // namespace dk::sim

@@ -18,6 +18,11 @@ Checks that clang-tidy cannot express:
                         signatures: attach_metrics(MetricsRegistry&, ...)
                         and attach_validator(PipelineValidator&, ...), so
                         every layer wires up the same way.
+  6. no-std-function-event: no `std::function<void()>` in src/sim/ — event
+                        callbacks must be dk::sim::EventFn (zero-alloc,
+                        move-only; see docs/PERFORMANCE.md). std::function's
+                        16-byte inline buffer heap-allocates the common
+                        24-byte capture and copies on every queue hop.
 
 Exit status: 0 clean, 1 violations found. Run from anywhere:
 
@@ -40,6 +45,7 @@ CASSERT_INCLUDE = re.compile(r"#\s*include\s*<(cassert|assert\.h)>")
 DIRECTIVE = re.compile(r"^\s*#\s*(\w+)")
 QUOTED_INCLUDE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
 ATTACH_DECL = re.compile(r"\battach_(metrics|validator)\s*\(([^)]*)")
+STD_FUNCTION_EVENT = re.compile(r"\bstd\s*::\s*function\s*<\s*void\s*\(\s*\)\s*>")
 
 ATTACH_FIRST_PARAM = {
     "metrics": "MetricsRegistry&",
@@ -179,6 +185,14 @@ class Linter:
                         f"attach_{kind}() must take {expected} as its first "
                         f"parameter (got '{first}')")
 
+    def check_no_std_function_event(self, path: Path, code: str) -> None:
+        for lineno, line in enumerate(code.splitlines(), 1):
+            if STD_FUNCTION_EVENT.search(line):
+                self.report(path, lineno, "no-std-function-event",
+                            "std::function<void()> in src/sim/: event "
+                            "callbacks must be dk::sim::EventFn "
+                            "(event_pool.hpp) to stay zero-alloc")
+
     # --- driver --------------------------------------------------------------
 
     def lint(self) -> int:
@@ -190,6 +204,8 @@ class Linter:
             code = strip_comments(raw)
             self.check_naked_assert(path, code)
             self.check_attach_naming(path, code)
+            if path.is_relative_to(src / "sim"):
+                self.check_no_std_function_event(path, code)
             if path.suffix in HEADER_SUFFIXES:
                 self.check_pragma_once(path, raw)
                 self.check_include_order(path, raw, code, skip_first=False)

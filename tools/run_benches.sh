@@ -54,3 +54,20 @@ for b in "${benches[@]}"; do
 done
 
 echo "wrote ${out_file} ($(wc -l < "${out_file}") lines)"
+
+# Wall-clock simulator-speed bench: measures real events/sec, so it is NOT
+# part of bench_output.txt (machine-dependent, never byte-identical). It
+# writes its own JSON next to the deterministic log instead.
+simspeed="${build_dir}/bench/micro_simspeed"
+if [[ -x "${simspeed}" && -z "${DK_SKIP_SIMSPEED:-}" ]]; then
+  simspeed_out="${3:-${repo_root}/BENCH_simspeed.json}"
+  # DK_SIMSPEED_EVENTS trims the run for smoke use (CI); the committed JSON
+  # is a full default-length run on the reference machine.
+  if [[ -n "${DK_SIMSPEED_EVENTS:-}" ]]; then
+    "${simspeed}" "${simspeed_out}" --events "${DK_SIMSPEED_EVENTS}"
+  else
+    "${simspeed}" "${simspeed_out}"
+  fi
+else
+  echo "skipping BENCH_simspeed.json" >&2
+fi
