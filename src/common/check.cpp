@@ -3,17 +3,20 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <utility>
 
+#include "common/annotations.hpp"
 #include "common/metrics.hpp"
+#include "common/mutex.hpp"
 
 namespace dk {
 namespace {
 
-std::mutex g_handler_mu;
-CheckFailureHandler g_handler;              // empty -> default behaviour
-MetricsRegistry* g_registry = nullptr;      // nullptr -> global()
+Mutex g_handler_mu;
+// empty -> default behaviour
+CheckFailureHandler g_handler DK_GUARDED_BY(g_handler_mu);
+// nullptr -> global()
+MetricsRegistry* g_registry DK_GUARDED_BY(g_handler_mu) = nullptr;
 std::atomic<std::uint64_t> g_failures{0};
 
 /// "src/blk/mq.cpp" -> "mq.cpp": keeps metric names stable across build
@@ -34,7 +37,7 @@ void default_handler(const CheckContext& context) {
 
   MetricsRegistry* registry;
   {
-    std::lock_guard<std::mutex> lock(g_handler_mu);
+    MutexLock lock(g_handler_mu);
     registry = g_registry;
   }
   if (!registry) registry = &MetricsRegistry::global();
@@ -49,12 +52,12 @@ void default_handler(const CheckContext& context) {
 }  // namespace
 
 CheckFailureHandler set_check_failure_handler(CheckFailureHandler handler) {
-  std::lock_guard<std::mutex> lock(g_handler_mu);
+  MutexLock lock(g_handler_mu);
   return std::exchange(g_handler, std::move(handler));
 }
 
 void set_check_metrics_registry(MetricsRegistry* registry) {
-  std::lock_guard<std::mutex> lock(g_handler_mu);
+  MutexLock lock(g_handler_mu);
   g_registry = registry;
 }
 
@@ -68,7 +71,7 @@ void report_check_failure(const CheckContext& context) {
   g_failures.fetch_add(1, std::memory_order_relaxed);
   CheckFailureHandler handler;
   {
-    std::lock_guard<std::mutex> lock(g_handler_mu);
+    MutexLock lock(g_handler_mu);
     handler = g_handler;
   }
   if (handler) {

@@ -57,7 +57,7 @@ std::string histogram_json(const LatencyHistogram& h) {
 }  // namespace
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end())
     it = counters_.emplace(name, std::make_unique<Counter>()).first;
@@ -65,7 +65,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end())
     it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
@@ -74,7 +74,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 
 HistogramMetric& MetricsRegistry::histogram(const std::string& name,
                                             unsigned sub_buckets_per_octave) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end())
     it = histograms_
@@ -85,26 +85,26 @@ HistogramMetric& MetricsRegistry::histogram(const std::string& name,
 }
 
 const Counter* MetricsRegistry::find_counter(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : it->second.get();
 }
 
 const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? nullptr : it->second.get();
 }
 
 const HistogramMetric* MetricsRegistry::find_histogram(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
 }
 
 std::vector<std::string> MetricsRegistry::counter_names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(counters_.size());
   for (const auto& [name, c] : counters_) out.push_back(name);
@@ -112,7 +112,7 @@ std::vector<std::string> MetricsRegistry::counter_names() const {
 }
 
 std::vector<std::string> MetricsRegistry::gauge_names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(gauges_.size());
   for (const auto& [name, g] : gauges_) out.push_back(name);
@@ -120,7 +120,7 @@ std::vector<std::string> MetricsRegistry::gauge_names() const {
 }
 
 std::vector<std::string> MetricsRegistry::histogram_names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) out.push_back(name);
@@ -128,14 +128,14 @@ std::vector<std::string> MetricsRegistry::histogram_names() const {
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
 }
 
 std::string MetricsRegistry::to_json() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out = "{\"counters\":{";
   bool first = true;
   for (const auto& [name, c] : counters_) {
@@ -162,7 +162,7 @@ std::string MetricsRegistry::to_json() const {
 }
 
 void MetricsRegistry::dump(std::ostream& os) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   os << "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, c] : counters_) {

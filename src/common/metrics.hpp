@@ -19,11 +19,12 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/histogram.hpp"
+#include "common/mutex.hpp"
 #include "common/units.hpp"
 
 namespace dk {
@@ -59,34 +60,34 @@ class HistogramMetric {
       : hist_(sub_buckets_per_octave) {}
 
   void record(Nanos value) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     hist_.record(value);
   }
   void record_n(Nanos value, std::uint64_t n) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     hist_.record_n(value, n);
   }
   void merge(const LatencyHistogram& other) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     hist_.merge(other);
   }
   /// Consistent copy for reporting.
   LatencyHistogram snapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return hist_;
   }
   std::uint64_t count() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return hist_.count();
   }
   void reset() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     hist_.reset();
   }
 
  private:
-  mutable std::mutex mu_;
-  LatencyHistogram hist_;
+  mutable Mutex mu_;
+  LatencyHistogram hist_ DK_GUARDED_BY(mu_);
 };
 
 class MetricsRegistry {
@@ -128,10 +129,11 @@ class MetricsRegistry {
   static MetricsRegistry& global();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ DK_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ DK_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_
+      DK_GUARDED_BY(mu_);
 };
 
 }  // namespace dk

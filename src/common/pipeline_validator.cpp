@@ -1,5 +1,6 @@
 #include "common/pipeline_validator.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -8,6 +9,19 @@ namespace dk {
 
 namespace {
 constexpr std::size_t kMaxLogEntries = 64;
+
+/// Deterministic reporting order over unordered state: anything that feeds
+/// the violation log iterates keys sorted ascending, never in hash order.
+template <typename Map>
+std::vector<typename Map::key_type> sorted_keys(const Map& m) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(m.size());
+  // dklint: allow(DK-D003) — key collection only; sorted before any use
+  for (const auto& [key, value] : m) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
 }  // namespace
 
 std::string_view PipelineValidator::violation_name(Violation kind) {
@@ -60,12 +74,12 @@ PipelineValidator::TagState& PipelineValidator::tag_state(unsigned hw_queue) {
 // --- SQ/CQ ring state machine ----------------------------------------------
 
 void PipelineValidator::on_sqe_queued(unsigned ring) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   ++ring_state(ring).queued;
 }
 
 void PipelineValidator::on_sqe_issued(unsigned ring, std::uint64_t user_data) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   RingState& r = ring_state(ring);
   ++r.issued;
   if (r.issued > r.queued) {
@@ -78,7 +92,7 @@ void PipelineValidator::on_sqe_issued(unsigned ring, std::uint64_t user_data) {
 }
 
 void PipelineValidator::on_cqe_posted(unsigned ring, std::uint64_t user_data) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   RingState& r = ring_state(ring);
   ++r.posted;
   auto it = r.inflight.find(user_data);
@@ -94,7 +108,7 @@ void PipelineValidator::on_cqe_posted(unsigned ring, std::uint64_t user_data) {
 
 void PipelineValidator::on_cqe_dropped(unsigned ring,
                                        std::uint64_t user_data) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   std::ostringstream os;
   os << "ring " << ring << ": CQ overflow dropped completion for user_data "
      << user_data;
@@ -102,7 +116,7 @@ void PipelineValidator::on_cqe_dropped(unsigned ring,
 }
 
 void PipelineValidator::on_cqes_reaped(unsigned ring, unsigned n) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   RingState& r = ring_state(ring);
   r.reaped += n;
   if (r.reaped > r.posted) {
@@ -116,7 +130,7 @@ void PipelineValidator::on_cqes_reaped(unsigned ring, unsigned n) {
 // --- blk-mq tag lifecycle ---------------------------------------------------
 
 void PipelineValidator::set_tag_depth(unsigned hw_queue, unsigned depth) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   TagState& t = tag_state(hw_queue);
   t.depth = depth;
   t.in_use = 0;
@@ -124,7 +138,7 @@ void PipelineValidator::set_tag_depth(unsigned hw_queue, unsigned depth) {
 }
 
 void PipelineValidator::on_tag_acquired(unsigned hw_queue, unsigned tag) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   TagState& t = tag_state(hw_queue);
   if (t.depth != 0 && tag >= t.depth) {
     std::ostringstream os;
@@ -152,7 +166,7 @@ void PipelineValidator::on_tag_acquired(unsigned hw_queue, unsigned tag) {
 }
 
 void PipelineValidator::on_tag_released(unsigned hw_queue, unsigned tag) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   TagState& t = tag_state(hw_queue);
   if (tag >= t.held.size() || !t.held[tag]) {
     std::ostringstream os;
@@ -168,7 +182,7 @@ void PipelineValidator::on_tag_released(unsigned hw_queue, unsigned tag) {
 // --- QDMA descriptor lifecycle ----------------------------------------------
 
 void PipelineValidator::on_descriptor_posted(std::uint64_t descriptor) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   auto [it, inserted] =
       descriptors_.emplace(descriptor, DescriptorState::posted);
   if (!inserted) {
@@ -180,7 +194,7 @@ void PipelineValidator::on_descriptor_posted(std::uint64_t descriptor) {
 }
 
 void PipelineValidator::on_descriptor_fetched(std::uint64_t descriptor) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   auto it = descriptors_.find(descriptor);
   if (it == descriptors_.end()) {
     std::ostringstream os;
@@ -198,7 +212,7 @@ void PipelineValidator::on_descriptor_fetched(std::uint64_t descriptor) {
 }
 
 void PipelineValidator::on_descriptor_completed(std::uint64_t descriptor) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   auto it = descriptors_.find(descriptor);
   if (it == descriptors_.end()) {
     std::ostringstream os;
@@ -221,7 +235,7 @@ void PipelineValidator::on_descriptor_completed(std::uint64_t descriptor) {
 // --- StageTrace audit -------------------------------------------------------
 
 void PipelineValidator::on_trace_complete(const StageTrace& trace) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   ++traces_audited_;
   if (!trace.monotonic()) {
     std::ostringstream os;
@@ -242,12 +256,12 @@ void PipelineValidator::on_trace_complete(const StageTrace& trace) {
 // --- I/O resolution under fault injection -----------------------------------
 
 void PipelineValidator::on_io_started(std::uint64_t token) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   ++ios_inflight_[token];
 }
 
 void PipelineValidator::on_io_resolved(std::uint64_t token) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   auto it = ios_inflight_.find(token);
   if (it == ios_inflight_.end() || it->second == 0) {
     std::ostringstream os;
@@ -261,19 +275,19 @@ void PipelineValidator::on_io_resolved(std::uint64_t token) {
 }
 
 void PipelineValidator::on_fault_injected() {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   ++faults_injected_;
 }
 
 // --- corruption resolution (integrity mode) ---------------------------------
 
 void PipelineValidator::on_corruption_detected() {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   ++corruptions_detected_;
 }
 
 void PipelineValidator::on_corruption_resolved() {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   ++corruptions_resolved_;
   if (corruptions_resolved_ > corruptions_detected_) {
     std::ostringstream os;
@@ -287,9 +301,10 @@ void PipelineValidator::on_corruption_resolved() {
 // --- teardown ---------------------------------------------------------------
 
 std::uint64_t PipelineValidator::verify_quiescent() {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   const std::uint64_t before = total_;
-  for (const auto& [id, r] : rings_) {
+  for (const unsigned id : sorted_keys(rings_)) {
+    const RingState& r = rings_.at(id);
     if (r.queued != r.issued || r.posted != r.reaped ||
         r.issued != r.posted || !r.inflight.empty()) {
       std::ostringstream os;
@@ -299,7 +314,8 @@ std::uint64_t PipelineValidator::verify_quiescent() {
       violation(Violation::quiescence, __LINE__, os.str());
     }
   }
-  for (const auto& [q, t] : tags_) {
+  for (const unsigned q : sorted_keys(tags_)) {
+    const TagState& t = tags_.at(q);
     if (t.in_use != 0) {
       std::ostringstream os;
       os << "hw queue " << q << ": " << t.in_use << " tag(s) leaked";
@@ -331,59 +347,61 @@ std::uint64_t PipelineValidator::verify_quiescent() {
 // --- introspection ----------------------------------------------------------
 
 std::uint64_t PipelineValidator::violations() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   return total_;
 }
 
 std::uint64_t PipelineValidator::violations(Violation kind) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   return counts_[static_cast<std::size_t>(kind)];
 }
 
 std::vector<std::string> PipelineValidator::violation_log() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   return log_;
 }
 
 std::uint64_t PipelineValidator::ring_inflight(unsigned ring) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   auto it = rings_.find(ring);
   if (it == rings_.end()) return 0;
   std::uint64_t n = 0;
+  // dklint: allow(DK-D003) — commutative sum; result is order-independent
   for (const auto& [ud, count] : it->second.inflight) n += count;
   return n;
 }
 
 unsigned PipelineValidator::tags_in_use(unsigned hw_queue) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   auto it = tags_.find(hw_queue);
   return it == tags_.end() ? 0 : it->second.in_use;
 }
 
 std::uint64_t PipelineValidator::descriptors_outstanding() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   return descriptors_.size();
 }
 
 std::uint64_t PipelineValidator::io_inflight() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   std::uint64_t n = 0;
+  // dklint: allow(DK-D003) — commutative sum; result is order-independent
   for (const auto& [token, count] : ios_inflight_) n += count;
   return n;
 }
 
 std::uint64_t PipelineValidator::faults_injected() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   return faults_injected_;
 }
 
 std::uint64_t PipelineValidator::corruptions_detected() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   return corruptions_detected_;
 }
 
 std::uint64_t PipelineValidator::corruptions_resolved() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   return corruptions_resolved_;
 }
 

@@ -29,12 +29,13 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/metrics.hpp"
+#include "common/mutex.hpp"
 #include "common/trace.hpp"
 
 namespace dk {
@@ -121,7 +122,10 @@ class PipelineValidator {
   std::uint64_t ring_inflight(unsigned ring) const;
   unsigned tags_in_use(unsigned hw_queue) const;
   std::uint64_t descriptors_outstanding() const;
-  std::uint64_t traces_audited() const { return traces_audited_; }
+  std::uint64_t traces_audited() const {
+    RecursiveMutexLock lock(mu_);
+    return traces_audited_;
+  }
   std::uint64_t io_inflight() const;
   std::uint64_t faults_injected() const;
   std::uint64_t corruptions_detected() const;
@@ -144,26 +148,29 @@ class PipelineValidator {
   };
   enum class DescriptorState : std::uint8_t { posted, fetched };
 
-  RingState& ring_state(unsigned ring);
-  TagState& tag_state(unsigned hw_queue);
-  void violation(Violation kind, int line, const std::string& message);
+  RingState& ring_state(unsigned ring) DK_REQUIRES(mu_);
+  TagState& tag_state(unsigned hw_queue) DK_REQUIRES(mu_);
+  void violation(Violation kind, int line, const std::string& message)
+      DK_REQUIRES(mu_);
 
   // Recursive so a failure handler may query this validator re-entrantly.
-  mutable std::recursive_mutex mu_;
-  MetricsRegistry* registry_;
-  std::unordered_map<unsigned, RingState> rings_;
-  std::unordered_map<unsigned, TagState> tags_;
-  std::unordered_map<std::uint64_t, DescriptorState> descriptors_;
-  std::unordered_map<std::uint64_t, std::uint32_t> ios_inflight_;
-  std::uint64_t descriptors_completed_ = 0;
-  std::uint64_t ios_resolved_ = 0;
-  std::uint64_t faults_injected_ = 0;
-  std::uint64_t corruptions_detected_ = 0;
-  std::uint64_t corruptions_resolved_ = 0;
-  std::uint64_t traces_audited_ = 0;
-  std::uint64_t counts_[kViolationKinds] = {};
-  std::uint64_t total_ = 0;
-  std::vector<std::string> log_;
+  mutable RecursiveMutex mu_;
+  MetricsRegistry* registry_ DK_GUARDED_BY(mu_);
+  std::unordered_map<unsigned, RingState> rings_ DK_GUARDED_BY(mu_);
+  std::unordered_map<unsigned, TagState> tags_ DK_GUARDED_BY(mu_);
+  std::unordered_map<std::uint64_t, DescriptorState> descriptors_
+      DK_GUARDED_BY(mu_);
+  std::unordered_map<std::uint64_t, std::uint32_t> ios_inflight_
+      DK_GUARDED_BY(mu_);
+  std::uint64_t descriptors_completed_ DK_GUARDED_BY(mu_) = 0;
+  std::uint64_t ios_resolved_ DK_GUARDED_BY(mu_) = 0;
+  std::uint64_t faults_injected_ DK_GUARDED_BY(mu_) = 0;
+  std::uint64_t corruptions_detected_ DK_GUARDED_BY(mu_) = 0;
+  std::uint64_t corruptions_resolved_ DK_GUARDED_BY(mu_) = 0;
+  std::uint64_t traces_audited_ DK_GUARDED_BY(mu_) = 0;
+  std::uint64_t counts_[kViolationKinds] DK_GUARDED_BY(mu_) = {};
+  std::uint64_t total_ DK_GUARDED_BY(mu_) = 0;
+  std::vector<std::string> log_ DK_GUARDED_BY(mu_);
 };
 
 }  // namespace dk

@@ -1,8 +1,16 @@
 #include "common/trace.hpp"
 
-#include <chrono>
+#include <atomic>
+
+#include "common/wall_clock.hpp"
 
 namespace dk {
+
+namespace {
+// Injectable so replay tools and tests can trace deterministically; the
+// default is the one sanctioned wall-clock read in common/wall_clock.cpp.
+std::atomic<TraceClockFn> g_trace_clock{&wall_clock_now};
+}  // namespace
 
 std::string_view stage_name(Stage s) {
   switch (s) {
@@ -17,10 +25,13 @@ std::string_view stage_name(Stage s) {
   return "unknown";
 }
 
+TraceClockFn set_trace_clock(TraceClockFn clock) {
+  return g_trace_clock.exchange(clock ? clock : &wall_clock_now,
+                                std::memory_order_relaxed);
+}
+
 Nanos trace_wall_now() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
+  return g_trace_clock.load(std::memory_order_relaxed)();
 }
 
 void StageTrace::mark(Stage s, Nanos t) {

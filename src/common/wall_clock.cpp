@@ -1,0 +1,15 @@
+#include "common/wall_clock.hpp"
+
+#include <chrono>
+
+namespace dk {
+
+Nanos wall_clock_now() {
+  // dklint: allow(DK-D001) — the single sanctioned wall-clock read; live
+  // (non-DES) tracing only, and never a source of simulation state
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace dk

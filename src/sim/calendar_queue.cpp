@@ -54,7 +54,8 @@ void sort_run(Event* first, Event* last) {
 
 }  // namespace
 
-void CalendarQueue::insert_sorted(Nanos t, std::uint64_t seq, EventFn fn) {
+DK_HOT void CalendarQueue::insert_sorted(Nanos t, std::uint64_t seq,
+                                         EventFn fn) {
   // New events carry the highest seq, so the common case (t at or past the
   // run's tail) appends in O(1); the memmove worst case is bounded by one
   // bucket's worth of events.

@@ -35,6 +35,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/units.hpp"
 #include "sim/event_pool.hpp"
 
@@ -60,7 +61,7 @@ class CalendarQueue {
   std::size_t size() const { return size_; }
 
   /// Insert; (t, seq) must be unique per queue (seq is the tie-break).
-  void push(Nanos t, std::uint64_t seq, EventFn fn) {
+  DK_HOT void push(Nanos t, std::uint64_t seq, EventFn fn) {
     ++size_;
     if (seeded_) {
       if (t >= claimed_end_) {
@@ -82,7 +83,7 @@ class CalendarQueue {
 
   /// Pointer to the earliest (t, seq) event, or nullptr when empty. Valid
   /// until the next push/pop.
-  const Event* front() {
+  DK_HOT const Event* front() {
     if (head_ == sorted_.size() && !refill()) return nullptr;
     return &sorted_[head_];
   }
@@ -91,14 +92,14 @@ class CalendarQueue {
   /// claim machinery, so draining a same-timestamp cohort is pure pointer
   /// bumps. (Same-t events are always contiguous at the front of sorted_,
   /// and an in-callback push at t0 binary-inserts right there.)
-  const Event* cohort_front(Nanos t0) {
+  DK_HOT const Event* cohort_front(Nanos t0) {
     return head_ < sorted_.size() && sorted_[head_].t == t0 ? &sorted_[head_]
                                                             : nullptr;
   }
 
   /// Move the front event's callback out and advance. Caller must have just
   /// observed a non-null front()/cohort_front().
-  EventFn take_front() {
+  DK_HOT EventFn take_front() {
     DK_DCHECK(head_ < sorted_.size());
     --size_;
     return std::move(sorted_[head_++].fn);
@@ -108,7 +109,7 @@ class CalendarQueue {
   const Event* peek() { return front(); }
 
   /// Remove and return the earliest event (moved out, never copied).
-  Event pop() {
+  DK_HOT Event pop() {
     const Event* f = front();
     DK_DCHECK(f != nullptr);
     (void)f;

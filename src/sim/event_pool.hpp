@@ -32,6 +32,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/check.hpp"
 
 namespace dk::sim {
@@ -103,7 +104,7 @@ class EventFn {
             typename = std::enable_if_t<
                 !std::is_same_v<std::remove_cvref_t<F>, EventFn> &&
                 std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
-  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+  DK_HOT EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
     using T = std::remove_cvref_t<F>;
     constexpr bool kInline = sizeof(T) <= kInlineBytes &&
                              alignof(T) <= alignof(std::max_align_t) &&

@@ -5,7 +5,7 @@
 
 namespace dk::sim {
 
-bool Simulator::step() {
+DK_HOT bool Simulator::step() {
   const Event* e = queue_.front();
   if (e == nullptr) return false;
   now_ = e->t;
@@ -18,7 +18,7 @@ bool Simulator::step() {
   return true;
 }
 
-void Simulator::run() {
+DK_HOT void Simulator::run() {
   for (;;) {
     const Event* e = queue_.front();
     if (e == nullptr) return;
@@ -36,7 +36,7 @@ void Simulator::run() {
   }
 }
 
-void Simulator::run_until(Nanos deadline) {
+DK_HOT void Simulator::run_until(Nanos deadline) {
   for (;;) {
     const Event* e = queue_.front();
     if (e == nullptr || e->t > deadline) break;

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 
+#include "common/annotations.hpp"
 #include "common/units.hpp"
 #include "sim/calendar_queue.hpp"
 
@@ -40,12 +41,12 @@ class Simulator {
   Nanos now() const { return now_; }
 
   /// Schedule `fn` to run at absolute time `t` (clamped to >= now).
-  void schedule_at(Nanos t, EventFn fn) {
+  DK_HOT void schedule_at(Nanos t, EventFn fn) {
     queue_.push(t < now_ ? now_ : t, next_seq_++, std::move(fn));
   }
 
   /// Schedule `fn` to run `delay` after now (delay clamped to >= 0).
-  void schedule_after(Nanos delay, EventFn fn) {
+  DK_HOT void schedule_after(Nanos delay, EventFn fn) {
     schedule_at(now_ + (delay > 0 ? delay : 0), std::move(fn));
   }
 

@@ -1,0 +1,13 @@
+// dklint-fixture-as: src/sim/fixture_baseline.cpp
+// Fixture: a violation grandfathered by tests/lint_fixtures/baseline.json.
+// The runner invokes dklint with that baseline and asserts exit 0 with the
+// finding tagged baselined; with the default (empty) baseline it is active.
+#include <cstdlib>
+
+namespace fixture {
+
+int grandfathered() {
+  return std::rand();  // expect: DK-D002
+}
+
+}  // namespace fixture

@@ -1,0 +1,50 @@
+// dklint-fixture-as: src/sim/fixture_clean.cpp
+// Fixture: idiomatic hot-path code producing zero findings — the shapes
+// dklint must NOT flag (placement new, seeded engines, sorted iteration,
+// guarded members, tight captures).
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
+
+namespace fixture {
+
+class Ledger {
+ public:
+  void add(std::uint64_t id, int delta) {
+    dk::MutexLock lock(mu_);
+    entries_[id] += delta;
+  }
+
+  std::vector<std::uint64_t> ids() const {
+    dk::MutexLock lock(mu_);
+    std::vector<std::uint64_t> keys;
+    keys.reserve(entries_.size());
+    // dklint: allow(DK-D003) — key collection only; sorted before any use
+    for (const auto& [id, delta] : entries_) keys.push_back(id);  // expect-suppressed: DK-D003
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+
+ private:
+  mutable dk::Mutex mu_;
+  std::unordered_map<std::uint64_t, int> entries_ DK_GUARDED_BY(mu_);
+};
+
+struct Slot {
+  int v = 0;
+};
+
+DK_HOT Slot* emplace(void* storage, int v) {
+  return ::new (storage) Slot{v};
+}
+
+DK_HOT int jitter(std::mt19937_64& engine) {
+  return static_cast<int>(engine() & 0xff);
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Conventions fixture: naked assert() and <cassert> includes are banned in
+// src/ — invariants go through DK_CHECK/DK_DCHECK (common/check.hpp).
+#include <cassert>  // expect-convention: no-naked-assert
+
+namespace fixture {
+
+int checked(int v) {
+  assert(v > 0);  // expect-convention: no-naked-assert
+  static_assert(sizeof(int) >= 4, "static_assert is fine");
+  return v;
+}
+
+}  // namespace fixture

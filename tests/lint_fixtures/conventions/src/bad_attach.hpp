@@ -1,0 +1,11 @@
+// Conventions fixture: observability attach points take the registry by
+// reference, not by pointer.
+#pragma once
+
+namespace fixture {
+
+class MetricsRegistry;
+
+void attach_metrics(MetricsRegistry* registry);  // expect-convention: attach-naming
+
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Conventions fixture: a header whose first directive is not #pragma once
+// and whose project includes are unsorted.
+#include "zeta.hpp"  // expect-convention: pragma-once-first  expect-convention: include-order
+#include "alpha.hpp"
+
+namespace fixture {
+inline int two() { return 2; }
+}  // namespace fixture

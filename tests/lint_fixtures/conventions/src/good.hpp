@@ -1,0 +1,9 @@
+// Conventions fixture: a fully conforming header — zero violations.
+#pragma once
+
+#include "alpha.hpp"
+#include "zeta.hpp"
+
+namespace fixture {
+inline int one() { return 1; }
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Conventions fixture: a .cpp must include its own header first.
+#include "other.hpp"  // expect-convention: own-header-first
+
+#include "pair.hpp"
+
+namespace fixture {
+int paired() { return 1; }
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Conventions fixture: src/sim/ event callbacks must be EventFn, never
+// std::function<void()>.
+#pragma once
+
+#include <functional>
+
+namespace fixture {
+
+struct Scheduler {
+  void post(std::function<void()> fn);  // expect-convention: no-std-function-event
+};
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// dklint-fixture-as: src/sim/fixture_h002.cpp
+// Fixture: DK-H002 std::function in DK_HOT functions (type-erased calls
+// allocate and indirect; the hot path uses EventFn or templates).
+#include <functional>
+
+#include "common/annotations.hpp"
+
+namespace fixture {
+
+DK_HOT int bad_std_function(int x) {
+  std::function<int(int)> f = [](int v) { return v + 1; };  // expect: DK-H002
+  return f(x);
+}
+
+int cold_std_function(int x) {
+  std::function<int(int)> f = [](int v) { return v + 1; };
+  return f(x);
+}
+
+template <typename F>
+DK_HOT int good_template_callable(F&& f, int x) {
+  return f(x);
+}
+
+}  // namespace fixture

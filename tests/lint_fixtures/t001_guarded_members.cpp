@@ -1,0 +1,37 @@
+// dklint-fixture-as: src/common/fixture_t001.cpp
+// Fixture: DK-T001 unguarded members of mutex-bearing classes. Atomics,
+// mutexes, condition variables, and constants are exempt.
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
+
+namespace fixture {
+
+class Guarded {
+ public:
+  void add(std::uint64_t v) {
+    dk::MutexLock lock(mu_);
+    total_ += v;
+  }
+
+ private:
+  mutable dk::Mutex mu_;
+  std::uint64_t total_ DK_GUARDED_BY(mu_) = 0;
+  std::atomic<std::uint64_t> peeks_{0};
+  std::uint64_t unguarded_ = 0;  // expect: DK-T001
+  std::vector<int> also_unguarded_;  // expect: DK-T001
+  const int limit_ = 8;
+};
+
+class NoMutexNoRules {
+ public:
+  int value() const { return value_; }
+
+ private:
+  int value_ = 0;  // single-threaded class: nothing required
+};
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// dklint-fixture-as: src/common/fixture_t002.cpp
+// Fixture: DK-T002 raw std synchronization primitives in src/. The dk
+// wrappers (common/mutex.hpp) carry the Clang TSA capability attributes a
+// bare std::mutex lacks.
+#include <mutex>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
+
+namespace fixture {
+
+class Bad {
+ public:
+  void touch() {
+    std::lock_guard<std::mutex> lock(mu_);  // expect: DK-T002
+    ++n_;
+  }
+
+ private:
+  std::mutex mu_;  // expect: DK-T002
+  int n_ = 0;  // expect: DK-T001 (Bad is mutex-bearing, n_ unguarded)
+};
+
+class Good {
+ public:
+  void touch() {
+    dk::MutexLock lock(mu_);
+    ++n_;
+  }
+
+ private:
+  mutable dk::Mutex mu_;
+  int n_ DK_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

@@ -27,6 +27,12 @@ Checks that clang-tidy cannot express:
 Exit status: 0 clean, 1 violations found. Run from anywhere:
 
     python3 tools/check_conventions.py [--root REPO_ROOT]
+
+`--self-test` lints the fixture tree tests/lint_fixtures/conventions/ (a
+miniature src/ with known violations, expectations encoded inline as
+`expect-convention: <rule>` comments) and verifies the reported
+(file, line, rule) triples match exactly — the same runner discipline
+tests/test_dklint.py applies to dklint.
 """
 
 from __future__ import annotations
@@ -215,12 +221,57 @@ class Linter:
         return len(self.violations)
 
 
+EXPECT_CONVENTION = re.compile(r"expect-convention:\s*([\w-]+)")
+VIOLATION_LINE = re.compile(r"^(.*?):(\d+): \[([\w-]+)\]")
+
+
+def self_test(root: Path) -> int:
+    fixture_root = root / "tests" / "lint_fixtures" / "conventions"
+    if not (fixture_root / "src").is_dir():
+        print(f"self-test fixtures missing: {fixture_root}/src",
+              file=sys.stderr)
+        return 1
+    want: set[tuple[str, int, str]] = set()
+    for path in sorted((fixture_root / "src").rglob("*")):
+        if path.suffix not in HEADER_SUFFIXES | SOURCE_SUFFIXES:
+            continue
+        rel = path.relative_to(fixture_root).as_posix()
+        for lineno, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), 1):
+            for m in EXPECT_CONVENTION.finditer(line):
+                want.add((rel, lineno, m.group(1)))
+    linter = Linter(fixture_root)
+    linter.lint()
+    got: set[tuple[str, int, str]] = set()
+    for v in linter.violations:
+        m = VIOLATION_LINE.match(v)
+        if m is None:
+            print(f"self-test: unparseable violation line: {v}",
+                  file=sys.stderr)
+            return 1
+        got.add((m.group(1), int(m.group(2)), m.group(3)))
+    failures = [f"MISSING violation: {t}" for t in sorted(want - got)]
+    failures += [f"SPURIOUS violation: {t}" for t in sorted(got - want)]
+    if failures:
+        print("conventions self-test: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"conventions self-test: OK — {len(got)} violations matched")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", type=Path,
                         default=Path(__file__).resolve().parent.parent,
                         help="repository root (default: parent of tools/)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the linter against its fixture corpus")
     args = parser.parse_args()
+
+    if args.self_test:
+        return self_test(args.root.resolve())
 
     linter = Linter(args.root.resolve())
     count = linter.lint()

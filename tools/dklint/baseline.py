@@ -1,0 +1,71 @@
+"""Baseline: grandfathered findings that do not fail the build.
+
+A baseline entry is (check, path, context) where context is the stripped
+source line the finding anchors to — line *text*, not line *number*, so
+unrelated edits above a grandfathered site do not invalidate the entry,
+while any edit to the offending line itself surfaces the finding again.
+
+Policy (docs/STATIC_ANALYSIS.md): the baseline only ever shrinks. It ships
+empty — every pre-existing finding was fixed or suppressed with a reason —
+and exists so a future check can be introduced without a same-PR fix of its
+whole backlog. ``--write-baseline`` regenerates it; CI diffs it against the
+checked-in copy and fails on growth.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from catalog import Finding
+
+
+def _context(root: str, finding: Finding) -> str:
+    try:
+        with open(os.path.join(root, finding.path), encoding="utf-8") as f:
+            lines = f.read().splitlines()
+        return lines[finding.line - 1].strip()
+    except (OSError, IndexError):
+        return ""
+
+
+def load(path: str) -> list[dict]:
+    if not os.path.exists(path):
+        return []
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    if not isinstance(data, list):
+        raise ValueError(f"{path}: baseline must be a JSON array")
+    return data
+
+
+def apply(
+    findings: list[Finding], entries: list[dict], root: str
+) -> list[Finding]:
+    """Mark findings present in the baseline (consuming entries one-for-one
+    so duplicates on one line need as many entries as findings)."""
+    pool: dict[tuple[str, str, str], int] = {}
+    for e in entries:
+        key = (e.get("check", ""), e.get("path", ""), e.get("context", ""))
+        pool[key] = pool.get(key, 0) + 1
+    out = []
+    for f in findings:
+        key = (f.check, f.path, _context(root, f))
+        if pool.get(key, 0) > 0:
+            pool[key] -= 1
+            f = Finding(f.path, f.line, f.check, f.message, f.suppressed,
+                        baselined=True)
+        out.append(f)
+    return out
+
+
+def write(path: str, findings: list[Finding], root: str) -> None:
+    entries = [
+        {"check": f.check, "path": f.path, "context": _context(root, f)}
+        for f in findings
+        if not f.suppressed
+    ]
+    entries.sort(key=lambda e: (e["path"], e["check"], e["context"]))
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(entries, f, indent=2)
+        f.write("\n")

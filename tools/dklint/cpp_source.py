@@ -1,0 +1,288 @@
+"""Lexical model of a C++ translation unit, shared by both backends.
+
+The clang backend uses this module only for suppression comments and the
+``dklint-fixture-as`` directive; the textual backend also consumes the token
+stream. The tokenizer understands comments, string/char literals (including
+raw strings), and preprocessor lines well enough that no check ever fires on
+text inside a literal or a comment — the classic failure mode of grep-based
+linting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+from catalog import ALLOW_FILE_WINDOW, S001, Finding, validate_check_id
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    kind: str  # "ident" | "punct" | "number" | "string" | "char"
+    text: str
+    line: int  # 1-based
+
+
+_IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_NUMBER = re.compile(r"(?:\d|\.\d)[\w.]*(?:[eEpP][+-]?[\w.]*)?")
+# Longest-match punctuation; "::" must be a single token so qualified names
+# reassemble cleanly.
+_PUNCTS = (
+    "<<=", ">>=", "...", "->*", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+    "^=", ".*",
+)
+
+
+class SourceFile:
+    """Tokens, comments, and suppression state for one file."""
+
+    def __init__(self, path: str, text: str) -> None:
+        self.path = path
+        self.text = text
+        self.tokens: list[Token] = []
+        # line -> list of comment texts beginning on that line
+        self.comments: dict[int, list[str]] = {}
+        self.preprocessor_lines: set[int] = set()
+        self._lex()
+
+    # -- lexing -------------------------------------------------------------
+
+    def _lex(self) -> None:  # noqa: C901 - a lexer is one big switch
+        text = self.text
+        i, n, line = 0, len(text), 1
+        at_line_start = True
+        while i < n:
+            c = text[i]
+            if c == "\n":
+                line += 1
+                i += 1
+                at_line_start = True
+                continue
+            if c in " \t\r\f\v":
+                i += 1
+                continue
+            if c == "#" and at_line_start:
+                # Preprocessor directive: consume to end of line, honoring
+                # backslash continuations. Includes and pragmas are not
+                # statements; checks skip these lines wholesale.
+                start = i
+                while i < n:
+                    if text[i] == "\n":
+                        if i > start and text[i - 1] == "\\":
+                            self.preprocessor_lines.add(line)
+                            line += 1
+                            i += 1
+                            continue
+                        break
+                    i += 1
+                self.preprocessor_lines.add(line)
+                continue
+            at_line_start = False
+            if c == "/" and i + 1 < n and text[i + 1] == "/":
+                end = text.find("\n", i)
+                end = n if end == -1 else end
+                self.comments.setdefault(line, []).append(text[i:end])
+                i = end
+                continue
+            if c == "/" and i + 1 < n and text[i + 1] == "*":
+                end = text.find("*/", i + 2)
+                end = n - 2 if end == -1 else end
+                body = text[i : end + 2]
+                self.comments.setdefault(line, []).append(body)
+                line += body.count("\n")
+                i = end + 2
+                continue
+            m = _raw_string_at(text, i)
+            if m is not None:
+                self.tokens.append(Token("string", "<raw>", line))
+                line += text.count("\n", i, m)
+                i = m
+                continue
+            if c == '"' or (
+                c in "uUL"
+                and text[i : i + 2] in ('u"', 'U"', 'L"')
+                or text[i : i + 3] == 'u8"'
+            ):
+                j = text.find('"', i) + 1
+                j = _scan_quoted(text, j - 1, '"')
+                self.tokens.append(Token("string", text[i:j], line))
+                line += text.count("\n", i, j)
+                i = j
+                continue
+            if c == "'":
+                j = _scan_quoted(text, i, "'")
+                self.tokens.append(Token("char", text[i:j], line))
+                i = j
+                continue
+            m2 = _IDENT.match(text, i)
+            if m2:
+                self.tokens.append(Token("ident", m2.group(), line))
+                i = m2.end()
+                continue
+            if c.isdigit() or (c == "." and i + 1 < n and text[i + 1].isdigit()):
+                m3 = _NUMBER.match(text, i)
+                assert m3 is not None
+                self.tokens.append(Token("number", m3.group(), line))
+                i = m3.end()
+                continue
+            for p in _PUNCTS:
+                if text.startswith(p, i):
+                    self.tokens.append(Token("punct", p, line))
+                    i += len(p)
+                    break
+            else:
+                self.tokens.append(Token("punct", c, line))
+                i += 1
+
+    # -- comment-driven directives -------------------------------------------
+
+    def fixture_virtual_path(self) -> str | None:
+        """First-line ``// dklint-fixture-as: <path>`` directive, if any."""
+        for text in self.comments.get(1, []):
+            m = _FIXTURE_AS.search(text)
+            if m:
+                return m.group(1).strip()
+        return None
+
+
+def _scan_quoted(text: str, start: int, quote: str) -> int:
+    """Index one past the closing quote, honoring backslash escapes."""
+    i = start + 1
+    n = len(text)
+    while i < n:
+        if text[i] == "\\":
+            i += 2
+            continue
+        if text[i] == quote:
+            return i + 1
+        if text[i] == "\n":  # unterminated (or a stray quote); stop at EOL
+            return i
+        i += 1
+    return n
+
+
+_RAW_PREFIX = re.compile(r'(?:u8|[uUL])?R"([^()\\ \t\n]{0,16})\(')
+
+
+def _raw_string_at(text: str, i: int) -> int | None:
+    m = _RAW_PREFIX.match(text, i)
+    if m is None:
+        return None
+    end = text.find(f"){m.group(1)}\"", m.end())
+    return len(text) if end == -1 else end + len(m.group(1)) + 2
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+
+_FIXTURE_AS = re.compile(r"dklint-fixture-as:\s*(\S+)")
+_ALLOW = re.compile(
+    r"dklint:\s*(allow|allow-file)\(([^)]*)\)\s*(.*)", re.DOTALL
+)
+# A reason must follow an em/en dash or a double hyphen, and be non-empty.
+_REASON = re.compile(r"^[—–]|^--")
+
+
+@dataclasses.dataclass
+class Suppressions:
+    """Parsed allow()/allow-file() directives for one file."""
+
+    # check -> set of covered lines (the comment's own line and the next
+    # non-comment line, so both trailing and preceding placements work)
+    line_allows: dict[str, set[int]]
+    file_allows: set[str]
+    malformed: list[Finding]  # DK-S001 findings
+    used: set[tuple[str, int]] = dataclasses.field(default_factory=set)
+
+    def covers(self, check: str, line: int) -> bool:
+        if check in self.file_allows:
+            return True
+        lines = self.line_allows.get(check)
+        if lines is not None and line in lines:
+            self.used.add((check, line))
+            return True
+        return False
+
+
+def parse_suppressions(src: SourceFile) -> Suppressions:
+    line_allows: dict[str, set[int]] = {}
+    file_allows: set[str] = set()
+    malformed: list[Finding] = []
+    for start_line in sorted(src.comments):
+        for comment in src.comments[start_line]:
+            m = _ALLOW.search(comment)
+            if m is None:
+                continue
+            kind, ids_text, tail = m.groups()
+            checks = [c.strip() for c in ids_text.split(",") if c.strip()]
+            reason_ok = bool(_REASON.search(tail.strip())) and len(
+                tail.strip()
+            ) > 4
+            if not reason_ok:
+                malformed.append(
+                    Finding(
+                        src.path,
+                        start_line,
+                        S001,
+                        f"suppression '{kind}({ids_text})' has no reason; "
+                        "append '— <why this is safe>'",
+                    )
+                )
+            bad = [c for c in checks if not validate_check_id(c)]
+            for c in bad:
+                malformed.append(
+                    Finding(
+                        src.path,
+                        start_line,
+                        S001,
+                        f"suppression names unknown check '{c}'",
+                    )
+                )
+            checks = [c for c in checks if validate_check_id(c)]
+            if kind == "allow-file":
+                if start_line <= ALLOW_FILE_WINDOW:
+                    file_allows.update(checks)
+                else:
+                    malformed.append(
+                        Finding(
+                            src.path,
+                            start_line,
+                            S001,
+                            "allow-file() must appear in the first "
+                            f"{ALLOW_FILE_WINDOW} lines",
+                        )
+                    )
+                continue
+            comment_span = range(
+                start_line, start_line + comment.count("\n") + 1
+            )
+            covered = set(comment_span)
+            covered |= _next_statement_lines(src, comment_span.stop - 1)
+            for c in checks:
+                line_allows.setdefault(c, set()).update(covered)
+    return Suppressions(line_allows, file_allows, malformed)
+
+
+def _next_statement_lines(src: SourceFile, after: int) -> set[int]:
+    """Lines of the statement (or declaration) that begins on the first code
+    line strictly after `after`, so a suppression above a statement covers
+    all of it even when the offending token sits on a wrapped line."""
+    toks = src.tokens
+    start = next((i for i, t in enumerate(toks) if t.line > after), None)
+    if start is None:
+        return {after + 1}
+    lines = {toks[start].line}
+    depth = 0
+    for t in toks[start:]:
+        lines.add(t.line)
+        if t.text in ("(", "[", "{"):
+            depth += 1
+        elif t.text in (")", "]", "}"):
+            depth -= 1
+        if (t.text == ";" and depth <= 0) or (t.text == "{" and depth == 1):
+            break
+    return lines
