@@ -1,0 +1,75 @@
+// Ablation (extension, ROADMAP item 3): the journaled blockstore under the
+// OSDs. Compares the seed's in-memory store (zero write cost, atomic apply)
+// against the vitastor-style WAL + data area across block sizes, reporting
+// the cost of durability: journal append/fsync/compaction time in the OSD
+// service path, and the write amplification the journal headers + 4 kB
+// block rounding introduce. Sub-block writes show the coalescing path.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "rados/cluster.hpp"
+
+int main() {
+  using namespace dk;
+  using core::VariantKind;
+  using workload::RwMode;
+
+  bench::print_header(
+      "Ablation: journaled blockstore under the OSDs (DeLiBA-K, rand write)",
+      "extension beyond the paper: WAL durability vs the in-memory store");
+
+  TextTable t({"Store / block size", "MB/s qd32", "kIOPS", "write amp",
+               "trims", "coalesced"});
+  for (bool journaled : {false, true}) {
+    for (std::uint64_t bs : {512ull, 4096ull, 65536ull}) {
+      auto cfg = bench::make_config(VariantKind::delibak,
+                                    core::PoolMode::replicated, 128 * MiB);
+      cfg.blockstore.enabled = journaled;
+      // Small ring so the run exercises trims/compaction, not just appends.
+      cfg.blockstore.journal_bytes = 1 * MiB;
+
+      sim::Simulator sim;
+      core::Framework fw(sim, cfg);
+      workload::FioEngine engine(fw);
+      workload::FioJobSpec spec;
+      spec.rw = RwMode::rand_write;
+      spec.bs = bs;
+      spec.iodepth = 32;
+      spec.runtime = ms(300);
+      spec.ramp = ms(40);
+      const auto r = engine.run(spec);
+
+      double amp = 1.0;  // the in-memory store writes exactly what it is sent
+      std::uint64_t trims = 0;
+      std::uint64_t coalesced = 0;
+      if (journaled) {
+        const Counter* logical =
+            fw.metrics().find_counter("blockstore.logical_bytes");
+        const Counter* physical =
+            fw.metrics().find_counter("blockstore.physical_bytes");
+        if (logical != nullptr && physical != nullptr && logical->value() > 0)
+          amp = static_cast<double>(physical->value()) /
+                static_cast<double>(logical->value());
+        if (const Counter* c =
+                fw.metrics().find_counter("blockstore.journal.trims"))
+          trims = c->value();
+        if (const Counter* c = fw.metrics().find_counter(
+                "blockstore.journal.coalesced_writes"))
+          coalesced = c->value();
+      }
+      t.add_row({std::string(journaled ? "journaled" : "in-memory") + ", " +
+                     std::to_string(bs) + " B",
+                 TextTable::num(r.mbps(), 1),
+                 TextTable::num(r.iops() / 1000.0, 1), TextTable::num(amp, 2),
+                 std::to_string(trims), std::to_string(coalesced)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected shape: the journaled store trades throughput for "
+               "durability — append + periodic fsync barriers slow every "
+               "write, amplification is worst for sub-block writes (header "
+               "per record, whole-block data-area rewrite) and approaches "
+               "the block-rounding floor at 64 kB; coalescing absorbs part "
+               "of the 512 B penalty.\n";
+  return 0;
+}

@@ -39,6 +39,7 @@ std::string_view PipelineValidator::violation_name(Violation kind) {
     case Violation::quiescence: return "quiescence";
     case Violation::io_leak: return "io_leak";
     case Violation::corruption_leak: return "corruption_leak";
+    case Violation::journal_leak: return "journal_leak";
   }
   return "unknown";
 }
@@ -298,6 +299,24 @@ void PipelineValidator::on_corruption_resolved() {
   }
 }
 
+// --- journaled-blockstore intent resolution ----------------------------------
+
+void PipelineValidator::on_journal_intent() {
+  RecursiveMutexLock lock(mu_);
+  ++journal_intents_;
+}
+
+void PipelineValidator::on_journal_intent_resolved() {
+  RecursiveMutexLock lock(mu_);
+  ++journal_resolved_;
+  if (journal_resolved_ > journal_intents_) {
+    std::ostringstream os;
+    os << "journal intent resolved " << journal_resolved_
+       << " time(s) but only " << journal_intents_ << " appended";
+    violation(Violation::journal_leak, __LINE__, os.str());
+  }
+}
+
 // --- teardown ---------------------------------------------------------------
 
 std::uint64_t PipelineValidator::verify_quiescent() {
@@ -340,6 +359,14 @@ std::uint64_t PipelineValidator::verify_quiescent() {
        << "Errc::corrupted (" << corruptions_detected_ << " detected, "
        << corruptions_resolved_ << " resolved)";
     violation(Violation::corruption_leak, __LINE__, os.str());
+  }
+  if (journal_intents_ != journal_resolved_) {
+    std::ostringstream os;
+    os << journal_intents_ - journal_resolved_
+       << " journaled intent(s) neither applied nor trimmed ("
+       << journal_intents_ << " appended, " << journal_resolved_
+       << " resolved)";
+    violation(Violation::journal_leak, __LINE__, os.str());
   }
   return total_ - before;
 }
@@ -403,6 +430,16 @@ std::uint64_t PipelineValidator::corruptions_detected() const {
 std::uint64_t PipelineValidator::corruptions_resolved() const {
   RecursiveMutexLock lock(mu_);
   return corruptions_resolved_;
+}
+
+std::uint64_t PipelineValidator::journal_intents() const {
+  RecursiveMutexLock lock(mu_);
+  return journal_intents_;
+}
+
+std::uint64_t PipelineValidator::journal_intents_resolved() const {
+  RecursiveMutexLock lock(mu_);
+  return journal_resolved_;
 }
 
 }  // namespace dk

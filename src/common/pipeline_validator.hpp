@@ -56,8 +56,9 @@ class PipelineValidator {
     quiescence,         // rings not drained / balanced at teardown
     io_leak,            // an I/O neither completed nor errored (fault lost)
     corruption_leak,    // a detected corruption neither repaired nor errored
+    journal_leak,       // a journaled intent neither applied nor trimmed
   };
-  static constexpr std::size_t kViolationKinds = 13;
+  static constexpr std::size_t kViolationKinds = 14;
 
   static std::string_view violation_name(Violation kind);
 
@@ -108,6 +109,16 @@ class PipelineValidator {
   void on_corruption_detected();
   void on_corruption_resolved();
 
+  // --- journaled-blockstore intent resolution ---------------------------
+  // Every record a journaled blockstore appends reports on_journal_intent()
+  // once, and MUST later report on_journal_intent_resolved() exactly once —
+  // when its payload is applied to the data area, or when crash replay
+  // discards it as torn/CRC-rejected. verify_quiescent() flags any
+  // imbalance as journal_leak: a journaled intent neither applied nor
+  // trimmed.
+  void on_journal_intent();
+  void on_journal_intent_resolved();
+
   /// Teardown accounting: every ring drained and balanced, zero tags held,
   /// zero descriptors outstanding. Returns the number of violations found
   /// by this call (0 when the pipeline wound down cleanly).
@@ -130,6 +141,8 @@ class PipelineValidator {
   std::uint64_t faults_injected() const;
   std::uint64_t corruptions_detected() const;
   std::uint64_t corruptions_resolved() const;
+  std::uint64_t journal_intents() const;
+  std::uint64_t journal_intents_resolved() const;
 
  private:
   struct RingState {
@@ -167,6 +180,8 @@ class PipelineValidator {
   std::uint64_t faults_injected_ DK_GUARDED_BY(mu_) = 0;
   std::uint64_t corruptions_detected_ DK_GUARDED_BY(mu_) = 0;
   std::uint64_t corruptions_resolved_ DK_GUARDED_BY(mu_) = 0;
+  std::uint64_t journal_intents_ DK_GUARDED_BY(mu_) = 0;
+  std::uint64_t journal_resolved_ DK_GUARDED_BY(mu_) = 0;
   std::uint64_t traces_audited_ DK_GUARDED_BY(mu_) = 0;
   std::uint64_t counts_[kViolationKinds] DK_GUARDED_BY(mu_) = {};
   std::uint64_t total_ DK_GUARDED_BY(mu_) = 0;

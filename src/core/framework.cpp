@@ -48,6 +48,7 @@ Framework::Framework(sim::Simulator& sim, FrameworkConfig config)
     : sim_(sim), config_(config), traits_(variant_traits(config.variant)) {
   config_.cluster.seed = config_.seed;
   config_.cluster.integrity = config_.integrity;
+  config_.cluster.blockstore = config_.blockstore;
   cluster_ = std::make_unique<rados::Cluster>(sim_, config_.cluster);
   client_ = std::make_unique<rados::RadosClient>(*cluster_);
 
@@ -63,6 +64,8 @@ Framework::Framework(sim::Simulator& sim, FrameworkConfig config)
     client_->set_integrity(true);
     client_->set_validator(&validator_);
   }
+  // Blockstore journal-intent accounting feeds the journal_leak rule.
+  if (config_.blockstore.enabled) cluster_->set_validator(&validator_);
 
   pool_ = config_.pool_mode == PoolMode::replicated
               ? cluster_->create_replicated_pool("rbd", config_.replica_size)
@@ -170,8 +173,15 @@ void Framework::wire_metrics() {
     m_checksum_failures_ = &metrics_.counter("integrity.checksum_failures");
     cluster_->attach_metrics(metrics_, "integrity");
   }
-  for (std::size_t i = 0; i < cluster_->osd_count(); ++i)
-    cluster_->osd(static_cast<int>(i)).attach_metrics(metrics_, "osd");
+  // blockstore.* metrics exist only in blockstore-armed stacks; all OSDs
+  // share the prefix, so counters aggregate and the occupancy gauge (delta
+  // updates) sums cluster-wide journal occupancy.
+  for (std::size_t i = 0; i < cluster_->osd_count(); ++i) {
+    rados::Osd& osd = cluster_->osd(static_cast<int>(i));
+    osd.attach_metrics(metrics_, "osd");
+    if (config_.blockstore.enabled)
+      osd.blockstore()->attach_metrics(metrics_, "blockstore");
+  }
 }
 
 void Framework::wire_validator() {

@@ -79,6 +79,16 @@ struct FrameworkConfig {
   /// no integrity.* metrics registered, and every faults-off bench output
   /// stays byte-identical to builds without this subsystem.
   bool integrity = false;
+
+  /// Journaled blockstore under every OSD (vitastor-style WAL + modeled
+  /// data area): writes land as CRC-32C journal records with append/fsync/
+  /// compaction costs charged through the OSD service stations; sub-4 kB
+  /// writes coalesce; the journal is a capped ring with a trim watermark;
+  /// crashes tear the tail record and restart replays exactly the
+  /// acknowledged prefix. Default off (enabled = false): no Blockstore is
+  /// constructed, no blockstore.* metrics registered, and bench output
+  /// stays byte-identical to builds without this subsystem.
+  rados::BlockstoreConfig blockstore;
 };
 
 struct FrameworkStats {

@@ -45,6 +45,7 @@ Cluster::Cluster(sim::Simulator& sim, ClusterConfig config)
                                      config_.seed * 7919 + i);
     const int id = static_cast<int>(i);
     osd->set_integrity(config_.integrity);
+    if (config_.blockstore.enabled) osd->arm_blockstore(config_.blockstore);
     osd->set_sender([this, id](int dst, std::shared_ptr<OpBody> body) {
       send_from_osd(id, dst, std::move(body));
     });
@@ -112,10 +113,15 @@ void Cluster::crash_osd(int id) {
   if (faults_ != nullptr) faults_->count_osd_crash();
 }
 
+void Cluster::set_validator(PipelineValidator* validator) {
+  for (auto& o : osds_) o->set_validator(validator);
+}
+
 void Cluster::restart_osd(int id) {
   // Crash recovery runs before the OSD takes traffic again: surviving
   // write intents (torn or unretired applies) are re-applied in full,
-  // refreshing checksum metadata.
+  // refreshing checksum metadata. With a blockstore armed the journal is
+  // replayed instead: intact records apply, the torn tail is discarded.
   const std::size_t replayed = osd(id).replay_journal();
   if (replayed > 0) {
     torn_writes_replayed_ += replayed;
@@ -258,7 +264,11 @@ void Cluster::reconstruct_shard(
     sim_.schedule_after(decode + write_svc,
                         [this, to_osd, target_key,
                          rebuilt = std::move(rebuilt), gather] {
-                          osd(to_osd).store().write(target_key, 0, rebuilt);
+                          // Durable-apply path: the rebuilt shard is
+                          // journaled like any client write, so a crash
+                          // mid-reconstruction stays recoverable.
+                          osd(to_osd).apply_durable(target_key, 0, rebuilt,
+                                                    {});
                           gather->done();
                         });
   };

@@ -45,6 +45,10 @@ struct ClusterConfig {
   // Arm OSD-side integrity: per-block checksums + write-intent journaling
   // in every object store, checksum verification before read replies.
   bool integrity = false;
+  // Arm the journaled blockstore under every OSD: WAL records + modeled
+  // data area with append/fsync/compaction costs (enabled = false keeps
+  // the in-memory store and its zero-cost write model).
+  BlockstoreConfig blockstore;
 };
 
 class Cluster {
@@ -107,7 +111,12 @@ class Cluster {
   void restart_osd(int id);
 
   bool integrity() const { return config_.integrity; }
+  bool blockstore_armed() const { return config_.blockstore.enabled; }
   std::uint64_t torn_writes_replayed() const { return torn_writes_replayed_; }
+
+  /// Forward the pipeline validator to every OSD (blockstore journal-intent
+  /// accounting feeds the journal_leak quiescence rule).
+  void set_validator(PipelineValidator* validator);
 
   /// Publish cluster-level integrity counters under "<prefix>."
   /// (torn_writes_replayed). Only called when integrity is armed.

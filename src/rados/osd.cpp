@@ -20,6 +20,22 @@ void Osd::attach_metrics(MetricsRegistry& registry, const std::string& prefix) {
   metrics_.write_service = &registry.histogram(prefix + ".write_service");
 }
 
+void Osd::arm_blockstore(const BlockstoreConfig& config) {
+  blockstore_ = std::make_unique<Blockstore>(config, store_);
+  blockstore_->set_validator(validator_);
+}
+
+void Osd::set_validator(PipelineValidator* validator) {
+  validator_ = validator;
+  if (blockstore_) blockstore_->set_validator(validator);
+}
+
+std::size_t Osd::replay_journal() {
+  std::size_t replayed = store_.journal_replay();
+  if (blockstore_) replayed += blockstore_->replay();
+  return replayed;
+}
+
 void Osd::set_crashed(bool crashed) {
   crashed_ = crashed;
   if (crashed) {
@@ -46,8 +62,14 @@ Nanos Osd::service_time(std::uint64_t bytes, bool is_write,
       contiguous ? 0
                  : (is_write ? config_.media_write_fixed
                              : config_.media_read_fixed);
-  const Nanos base =
-      config_.op_fixed + media_fixed + transfer_time(bytes, config_.media_bps);
+  // Blockstore-armed writes pay the WAL on top of the media model: journal
+  // append (header + payload over the journal device) and the periodic
+  // fsync barrier. Charged here — the single service-time choke point — so
+  // journal pressure competes with every other op on the worker stations.
+  const Nanos wal = is_write && blockstore_ ? blockstore_->append_cost(bytes)
+                                            : 0;
+  const Nanos base = config_.op_fixed + media_fixed + wal +
+                     transfer_time(bytes, config_.media_bps);
   const Nanos jitter = static_cast<Nanos>(
       rng_.exponential(config_.jitter_frac * static_cast<double>(base)));
   const Nanos total = base + jitter;
@@ -95,6 +117,31 @@ void Osd::handle(std::shared_ptr<OpBody> body) {
 void Osd::apply_write(const ObjectKey& key, std::uint64_t offset,
                       std::span<const std::uint8_t> data,
                       std::span<const std::uint32_t> checksums) {
+  if (data.empty()) return;
+  if (blockstore_) {
+    // WAL discipline: the journal record lands first; only commit() touches
+    // the data area. A crash mid-append tears the tail record at a byte
+    // boundary drawn from the corruption stream — the data area never sees
+    // those bytes, and replay discards the torn record on restart, so
+    // exactly the acknowledged prefix survives.
+    const std::uint64_t lsn = blockstore_->append(key, offset, data);
+    if (crashed_ && torn_armed_) {
+      torn_armed_ = false;
+      const std::uint64_t record = blockstore_->record_bytes(lsn);
+      const std::uint64_t keep = faults_ != nullptr
+                                     ? faults_->torn_prefix(record)
+                                     : record / 2;
+      blockstore_->tear_tail(keep);
+      if (faults_ != nullptr) faults_->count_torn_write();
+      return;
+    }
+    blockstore_->commit(lsn, key, offset, data, checksums);
+    // Trimming freed journal space; the compaction rewrite occupies an op
+    // thread for its simulated duration, contending with client I/O.
+    const std::uint64_t debt = blockstore_->take_compaction_debt();
+    if (debt > 0) workers_.submit(blockstore_->compaction_cost(debt), [] {});
+    return;
+  }
   if (!store_.integrity()) {
     store_.write(key, offset, data);
     return;

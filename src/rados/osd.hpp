@@ -19,6 +19,7 @@
 #include "common/units.hpp"
 #include "ec/reed_solomon.hpp"
 #include "net/network.hpp"
+#include "rados/blockstore.hpp"
 #include "rados/messages.hpp"
 #include "rados/object_store.hpp"
 #include "sim/resources.hpp"
@@ -77,14 +78,38 @@ class Osd {
   /// corruption stream; injections are counted there).
   void set_fault_injector(sim::FaultInjector* faults) { faults_ = faults; }
 
+  /// Arm the journaled blockstore under this OSD's store: every durable
+  /// mutation lands as a WAL record before touching the data area, append/
+  /// fsync/compaction costs are charged through the op-thread stations, and
+  /// crash recovery replays the acknowledged journal prefix. Call once at
+  /// construction, before traffic.
+  void arm_blockstore(const BlockstoreConfig& config);
+  Blockstore* blockstore() { return blockstore_.get(); }
+  const Blockstore* blockstore() const { return blockstore_.get(); }
+
+  /// Journal-intent accounting for the blockstore (journal_leak rule).
+  void set_validator(PipelineValidator* validator);
+
   /// Arm a torn write: the next store apply on this (crashed) OSD persists
-  /// only a random prefix and leaves its journal intent pending. Only
-  /// honoured in integrity mode (see OsdCrashEvent::torn_write).
+  /// only a prefix — of the payload (integrity mode, journal intent left
+  /// pending) or of the tail journal record (blockstore mode, record torn
+  /// at a byte boundary). Honoured when integrity or a blockstore is armed
+  /// (see OsdCrashEvent::torn_write).
   void arm_torn_write() { torn_armed_ = true; }
 
-  /// Crash recovery: re-apply surviving write intents (finishing torn or
-  /// lost applies), refreshing checksums. Returns the number replayed.
-  std::size_t replay_journal() { return store_.journal_replay(); }
+  /// Crash recovery: replay the blockstore journal (apply intact records,
+  /// discard the torn tail) and/or re-apply surviving write intents,
+  /// refreshing checksums. Returns the number of records resolved.
+  std::size_t replay_journal();
+
+  /// Public durable-apply entry for recovery/repair traffic: routes the
+  /// write through the same journal choke point as client ops, so repair
+  /// rewrites are crash-consistent too.
+  void apply_durable(const ObjectKey& key, std::uint64_t offset,
+                     std::span<const std::uint8_t> data,
+                     std::span<const std::uint32_t> checksums) {
+    apply_write(key, offset, data, checksums);
+  }
 
   /// Sampled service time for an op of `bytes` at (key, offset); queueing
   /// not included. Models two cache effects of the real backend:
@@ -152,6 +177,8 @@ class Osd {
   bool crashed_ = false;
   bool torn_armed_ = false;
   sim::FaultInjector* faults_ = nullptr;
+  std::unique_ptr<Blockstore> blockstore_;
+  PipelineValidator* validator_ = nullptr;
 
   struct MetricHandles {
     Counter* ops = nullptr;

@@ -316,9 +316,10 @@ ScrubReport RecoveryManager::repair(int pool) {
     }
 
     for (int h : bad) {
-      // Full rewrite through the store's normal path refreshes the block
-      // checksums over the verified bytes.
-      cluster_.osd(h).store().write(key, 0, replacement);
+      // Full rewrite through the durable-apply path refreshes the block
+      // checksums over the verified bytes, and — blockstore armed — lands
+      // the repair in the journal like any client write.
+      cluster_.osd(h).apply_durable(key, 0, replacement, {});
       ++report.repaired;
       ++scrub_repairs_;
       if (scrub_repairs_metric_ != nullptr) scrub_repairs_metric_->inc();

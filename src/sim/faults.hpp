@@ -58,10 +58,12 @@ struct OsdCrashEvent {
   Nanos restart_at = 0;
   Nanos mark_out_after = ms(2);
   /// Crash lands mid-write: the first store write applied after the crash
-  /// persists only a prefix of its payload, leaving a torn object. Only
-  /// honoured when FrameworkConfig::integrity is armed — the write-intent
-  /// journal is what makes the tear detectable and replayable; without it
-  /// the model keeps its pre-integrity atomic-write semantics.
+  /// persists only a prefix, leaving a torn object (integrity mode: torn
+  /// payload, intent pending) or a torn tail journal record (blockstore
+  /// mode: record CRC fails, replay discards it). Only honoured when
+  /// FrameworkConfig::integrity or FrameworkConfig::blockstore is armed —
+  /// a journal is what makes the tear detectable and replayable; without
+  /// one the model keeps its pre-integrity atomic-write semantics.
   bool torn_write = false;
 };
 

@@ -108,6 +108,8 @@ struct ChaosOutcome {
   std::uint64_t checksum_failures = 0;  // integrity runs: detections
   std::uint64_t read_repairs = 0;
   std::uint64_t torn_replayed = 0;
+  std::uint64_t journal_trims = 0;      // blockstore runs: trim policy ran
+  std::uint64_t journal_occupancy = 0;  // cluster-wide, at drain
   sim::FaultStats faults;
 };
 
@@ -230,6 +232,10 @@ ChaosOutcome chaos_run_with(const core::FrameworkConfig& cfg,
     out.checksum_failures = c->value();
   out.read_repairs = fw.rados_client().read_repairs();
   out.torn_replayed = fw.cluster().torn_writes_replayed();
+  if (const Counter* c = fw.metrics().find_counter("blockstore.journal.trims"))
+    out.journal_trims = c->value();
+  if (const Gauge* g = fw.metrics().find_gauge("blockstore.journal.occupancy"))
+    out.journal_occupancy = static_cast<std::uint64_t>(g->value());
   out.faults = fw.faults()->stats();
   return out;
 }
@@ -391,6 +397,71 @@ TEST(ChaosSweep, IntegrityArmedCorruptionNeverYieldsWrongBytes) {
   EXPECT_GT(agg.read_repairs, 0u);
   EXPECT_GT(agg.torn_replayed, 0u)
       << "restart must replay the torn write-intent journal";
+  EXPECT_GT(agg.completed_ok, agg.errored);
+}
+
+// --- Blockstore chaos: journaled OSDs under a torn-write crash --------------
+
+/// The integrity crash plan pointed at a blockstore-armed stack: every OSD
+/// write lands as a WAL record first, the crash tears the tail record of
+/// the victim OSD, and restart replays the journal (intact records apply,
+/// the torn record is discarded). A deliberately small journal ring makes
+/// the 300-op run cross the cap, so wraparound trims and compaction charge
+/// while client I/O is in flight.
+core::FrameworkConfig blockstore_chaos_config(std::uint64_t seed) {
+  core::FrameworkConfig cfg;
+  cfg.variant = core::VariantKind::delibak;
+  cfg.pool_mode = seed % 2 == 0 ? core::PoolMode::replicated
+                                : core::PoolMode::erasure;
+  cfg.image_size = 32 * MiB;
+  cfg.blockstore.enabled = true;
+  cfg.blockstore.journal_bytes = 256 * KiB;
+
+  sim::FaultPlan plan;
+  plan.seed = seed;
+  sim::OsdCrashEvent crash;
+  crash.osd = static_cast<int>(seed % 32);
+  crash.crash_at = ms(1);
+  crash.restart_at = ms(6);
+  crash.mark_out_after = -1;
+  crash.torn_write = true;
+  plan.osd_crashes.push_back(crash);
+  cfg.fault_plan = plan;
+  return cfg;
+}
+
+TEST(ChaosSweep, BlockstoreArmedTornCrashLosesNoAcknowledgedWrites) {
+  ChaosOutcome agg;
+  const std::uint64_t base = base_seed();
+  for (std::uint64_t i = 0; i < kSeeds; ++i) {
+    const std::uint64_t seed = base + i;
+    SCOPED_TRACE("blockstore seed=" + std::to_string(seed));
+    const ChaosOutcome out =
+        chaos_run_with(blockstore_chaos_config(seed), seed);
+    EXPECT_EQ(out.submitted, out.completed_ok + out.errored)
+        << "lost I/Os: neither completed nor errored";
+    EXPECT_EQ(out.verify_mismatches, 0u)
+        << "an acknowledged write was lost, or torn bytes surfaced";
+    EXPECT_EQ(out.leaks, 0u)
+        << "a journaled intent neither applied nor trimmed (journal_leak)";
+    // Cluster-wide occupancy stays under the summed per-OSD cap.
+    EXPECT_LE(out.journal_occupancy, 32u * 256 * KiB);
+    agg.submitted += out.submitted;
+    agg.completed_ok += out.completed_ok;
+    agg.errored += out.errored;
+    agg.torn_replayed += out.torn_replayed;
+    agg.journal_trims += out.journal_trims;
+    agg.faults.osd_crashes += out.faults.osd_crashes;
+    agg.faults.osd_restarts += out.faults.osd_restarts;
+    agg.faults.torn_writes += out.faults.torn_writes;
+  }
+  EXPECT_EQ(agg.faults.osd_crashes, kSeeds);
+  EXPECT_EQ(agg.faults.osd_restarts, kSeeds);
+  EXPECT_GT(agg.faults.torn_writes, 0u) << "no crash landed mid-append";
+  EXPECT_GT(agg.torn_replayed, 0u)
+      << "restart must replay the blockstore journal";
+  EXPECT_GT(agg.journal_trims, 0u)
+      << "the journal cap/trim policy never ran under load";
   EXPECT_GT(agg.completed_ok, agg.errored);
 }
 

@@ -234,6 +234,36 @@ TEST(GoldenRegression, Fig7_RandWrite4kCellBitExact) {
   EXPECT_EQ(r.bytes, 36515840u);
 }
 
+TEST(GoldenRegression, BlockstoreOffIsByteIdentical) {
+  // FrameworkConfig::blockstore defaults off, and off must mean inert: no
+  // Blockstore constructed, no blockstore.* metrics registered, no
+  // service-time change — the Fig. 7 cell reproduces the exact pre-
+  // blockstore values. Any drift here means the disarmed path draws rng or
+  // charges time it should not.
+  sim::Simulator sim;
+  FrameworkConfig cfg;
+  cfg.variant = VariantKind::delibak;
+  cfg.pool_mode = PoolMode::replicated;
+  cfg.image_size = 128 * MiB;
+  ASSERT_FALSE(cfg.blockstore.enabled) << "blockstore must default off";
+  core::Framework fw(sim, cfg);
+  workload::FioEngine engine(fw);
+  FioJobSpec spec;
+  spec.rw = RwMode::rand_write;
+  spec.bs = 4 * KiB;
+  spec.iodepth = 32;
+  spec.runtime = ms(300);
+  spec.ramp = ms(40);
+  spec.seed = 11;
+  const workload::FioResult r = engine.run(spec);
+  EXPECT_EQ(r.ops, 8915u);
+  EXPECT_EQ(r.bytes, 36515840u);
+  EXPECT_EQ(fw.metrics().find_counter("blockstore.logical_bytes"), nullptr);
+  EXPECT_EQ(fw.metrics().find_gauge("blockstore.journal.occupancy"), nullptr);
+  for (std::size_t i = 0; i < fw.cluster().osd_count(); ++i)
+    EXPECT_EQ(fw.cluster().osd(static_cast<int>(i)).blockstore(), nullptr);
+}
+
 // --- Table I / III / power ---------------------------------------------------
 
 TEST(PaperClaims, TableI_HwKernelsBeatSoftware) {

@@ -8,6 +8,7 @@
 #include "common/crc32c.hpp"
 #include "common/pipeline_validator.hpp"
 #include "common/rng.hpp"
+#include "rados/blockstore.hpp"
 #include "rados/client.hpp"
 #include "rados/recovery.hpp"
 
@@ -402,6 +403,126 @@ TEST(ObjectStoreJournal, ReplayIsDeterministicAndIdempotent) {
   };
   ObjectStore a, b;
   EXPECT_EQ(run(a), run(b));
+}
+
+// --- Blockstore journal format (pinned next to the write-intent journal
+// tests above: both journals share the crash-consistency contract) ----------
+
+TEST(BlockstoreJournal, TornEntryTruncatedAtEveryByteBoundary) {
+  // A committed record A and an uncommitted record B. For every possible
+  // tear position inside B's on-journal footprint, replay must keep A's
+  // bytes and drop B's entirely; only the full-length keep (the append was
+  // durable after all) lets B apply.
+  const ObjectKey key{0, 1, -1};
+  const auto a = pattern(512, 1);
+  const auto b = pattern(300, 2);
+  const std::uint64_t footprint = kJournalHeaderBytes + b.size();
+
+  for (std::uint64_t keep = 0; keep <= footprint; ++keep) {
+    ObjectStore store;
+    BlockstoreConfig cfg;
+    cfg.enabled = true;
+    Blockstore bs(cfg, store);
+    const std::uint64_t la = bs.append(key, 0, a);
+    bs.commit(la, key, 0, a, {});
+    const std::uint64_t lb = bs.append(key, 4096, b);
+    ASSERT_EQ(bs.record_bytes(lb), footprint);
+
+    bs.tear_tail(keep);
+    bs.replay();
+
+    EXPECT_EQ(store.read(key, 0, a.size()), a) << "keep=" << keep;
+    if (keep < footprint) {
+      EXPECT_EQ(store.object_size(key), a.size())
+          << "keep=" << keep << ": torn bytes surfaced";
+      EXPECT_EQ(bs.replays_discarded(), 1u) << "keep=" << keep;
+    } else {
+      EXPECT_EQ(store.read(key, 4096, b.size()), b) << "full-length keep";
+      EXPECT_EQ(bs.replays_discarded(), 0u);
+    }
+  }
+}
+
+TEST(BlockstoreJournal, CrcRejectedEntryStopsReplay) {
+  // Three uncommitted records (crash before any commit); the middle one has
+  // a latent CRC error. Replay applies the first, then stops: the rejected
+  // record AND the intact one after it are discarded — a bad record ends
+  // the readable log, exactly like a torn tail.
+  ObjectStore store;
+  BlockstoreConfig cfg;
+  cfg.enabled = true;
+  Blockstore bs(cfg, store);
+  const ObjectKey key{0, 1, -1};
+  const auto p1 = pattern(1000, 1);
+  const auto p2 = pattern(1000, 2);
+  const auto p3 = pattern(1000, 3);
+  bs.append(key, 0, p1);
+  const std::uint64_t l2 = bs.append(key, 8192, p2);
+  bs.append(key, 16384, p3);
+  bs.corrupt_crc(l2);
+
+  EXPECT_EQ(bs.replay(), 3u) << "1 applied + 2 discarded";
+  EXPECT_EQ(bs.replays_discarded(), 2u);
+  EXPECT_EQ(store.read(key, 0, p1.size()), p1);
+  EXPECT_EQ(store.object_size(key), p1.size())
+      << "bytes past the rejected record must not surface";
+}
+
+TEST(BlockstoreJournal, AppendWrapsAroundAtTheCap) {
+  // A tiny ring with the watermark policy disabled: making room is entirely
+  // the append path's wraparound trim. Old applied records are evicted
+  // head-first, occupancy never exceeds the cap, and every committed byte
+  // stays readable from the data area.
+  ObjectStore store;
+  BlockstoreConfig cfg;
+  cfg.enabled = true;
+  cfg.journal_bytes = 8 * KiB;
+  cfg.trim_watermark = 1.1;  // > 1: commit never trims, only append does
+  Blockstore bs(cfg, store);
+  const ObjectKey key{0, 1, -1};
+
+  std::uint64_t last = 0;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const auto data = pattern(2048, 10 + i);
+    last = bs.append(key, i * 8192, data);
+    bs.commit(last, key, i * 8192, data, {});
+    ASSERT_LE(bs.occupancy(), cfg.journal_bytes) << "write " << i;
+  }
+  EXPECT_GT(bs.trims(), 0u);
+  EXPECT_LT(bs.record_count(), 8u);
+  EXPECT_EQ(bs.record_bytes(1), 0u) << "oldest record must be trimmed";
+  EXPECT_EQ(bs.record_bytes(last), kJournalHeaderBytes + 2048u)
+      << "newest record must survive";
+  EXPECT_GT(bs.take_compaction_debt(), 0u);
+  for (std::uint64_t i = 0; i < 8; ++i)
+    EXPECT_EQ(store.read(key, i * 8192, 2048), pattern(2048, 10 + i))
+        << "trimming the journal lost committed write " << i;
+}
+
+TEST(BlockstoreJournal, ReplayIsDeterministic) {
+  // Two stores fed the identical op sequence — including coalesced
+  // sub-block writes, a batch of uncommitted appends, and a torn tail —
+  // replay to identical data-area contents.
+  auto run = [](ObjectStore& st) {
+    BlockstoreConfig cfg;
+    cfg.enabled = true;
+    Blockstore bs(cfg, st);
+    const ObjectKey key{0, 1, -1};
+    Rng rng(77);
+    for (int i = 0; i < 20; ++i) {
+      const std::uint64_t size = 1 + rng.below(3000);
+      const std::uint64_t offset = rng.below(32 * 1024);
+      const auto data = pattern(size, 200 + static_cast<std::uint64_t>(i));
+      const std::uint64_t lsn = bs.append(key, offset, data);
+      if (i < 17) bs.commit(lsn, key, offset, data, {});
+    }
+    bs.tear_tail(10);  // crash truncates the tail mid-header
+    bs.replay();
+    return st.read(key, 0, st.object_size(key));
+  };
+  ObjectStore a, b;
+  EXPECT_EQ(run(a), run(b));
+  EXPECT_GT(a.object_size({0, 1, -1}), 0u);
 }
 
 }  // namespace

@@ -31,6 +31,7 @@ benches=(
   ablation_dfx_reconfig
   ablation_bucket_kernels
   ablation_recovery
+  ablation_blockstore
   micro_api_overhead
 )
 
