@@ -40,6 +40,7 @@ std::string_view PipelineValidator::violation_name(Violation kind) {
     case Violation::io_leak: return "io_leak";
     case Violation::corruption_leak: return "corruption_leak";
     case Violation::journal_leak: return "journal_leak";
+    case Violation::background_leak: return "background_leak";
   }
   return "unknown";
 }
@@ -317,6 +318,24 @@ void PipelineValidator::on_journal_intent_resolved() {
   }
 }
 
+// --- background-work resolution (scrub / paced recovery) ---------------------
+
+void PipelineValidator::on_background_scheduled() {
+  RecursiveMutexLock lock(mu_);
+  ++background_scheduled_;
+}
+
+void PipelineValidator::on_background_resolved() {
+  RecursiveMutexLock lock(mu_);
+  ++background_resolved_;
+  if (background_resolved_ > background_scheduled_) {
+    std::ostringstream os;
+    os << "background work resolved " << background_resolved_
+       << " time(s) but only " << background_scheduled_ << " scheduled";
+    violation(Violation::background_leak, __LINE__, os.str());
+  }
+}
+
 // --- teardown ---------------------------------------------------------------
 
 std::uint64_t PipelineValidator::verify_quiescent() {
@@ -367,6 +386,14 @@ std::uint64_t PipelineValidator::verify_quiescent() {
        << journal_intents_ << " appended, " << journal_resolved_
        << " resolved)";
     violation(Violation::journal_leak, __LINE__, os.str());
+  }
+  if (background_scheduled_ != background_resolved_) {
+    std::ostringstream os;
+    os << background_scheduled_ - background_resolved_
+       << " background work item(s) neither completed nor cancelled ("
+       << background_scheduled_ << " scheduled, " << background_resolved_
+       << " resolved)";
+    violation(Violation::background_leak, __LINE__, os.str());
   }
   return total_ - before;
 }
@@ -440,6 +467,16 @@ std::uint64_t PipelineValidator::journal_intents() const {
 std::uint64_t PipelineValidator::journal_intents_resolved() const {
   RecursiveMutexLock lock(mu_);
   return journal_resolved_;
+}
+
+std::uint64_t PipelineValidator::background_scheduled() const {
+  RecursiveMutexLock lock(mu_);
+  return background_scheduled_;
+}
+
+std::uint64_t PipelineValidator::background_resolved() const {
+  RecursiveMutexLock lock(mu_);
+  return background_resolved_;
 }
 
 }  // namespace dk

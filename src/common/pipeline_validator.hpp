@@ -57,8 +57,10 @@ class PipelineValidator {
     io_leak,            // an I/O neither completed nor errored (fault lost)
     corruption_leak,    // a detected corruption neither repaired nor errored
     journal_leak,       // a journaled intent neither applied nor trimmed
+    background_leak,    // a scheduled scrub chunk / recovery move neither
+                        // completed nor cancelled
   };
-  static constexpr std::size_t kViolationKinds = 14;
+  static constexpr std::size_t kViolationKinds = 15;
 
   static std::string_view violation_name(Violation kind);
 
@@ -119,6 +121,16 @@ class PipelineValidator {
   void on_journal_intent();
   void on_journal_intent_resolved();
 
+  // --- background-work resolution (scrub / paced recovery) --------------
+  // Every scrub chunk the background scheduler schedules and every
+  // RecoveryMove a paced execution launches reports on_background_scheduled()
+  // once, and MUST later report on_background_resolved() exactly once —
+  // when the chunk/move completed, or when it was cancelled (target crashed,
+  // scheduler stopped). verify_quiescent() flags any imbalance as
+  // background_leak: background work neither completed nor cancelled.
+  void on_background_scheduled();
+  void on_background_resolved();
+
   /// Teardown accounting: every ring drained and balanced, zero tags held,
   /// zero descriptors outstanding. Returns the number of violations found
   /// by this call (0 when the pipeline wound down cleanly).
@@ -143,6 +155,8 @@ class PipelineValidator {
   std::uint64_t corruptions_resolved() const;
   std::uint64_t journal_intents() const;
   std::uint64_t journal_intents_resolved() const;
+  std::uint64_t background_scheduled() const;
+  std::uint64_t background_resolved() const;
 
  private:
   struct RingState {
@@ -182,6 +196,8 @@ class PipelineValidator {
   std::uint64_t corruptions_resolved_ DK_GUARDED_BY(mu_) = 0;
   std::uint64_t journal_intents_ DK_GUARDED_BY(mu_) = 0;
   std::uint64_t journal_resolved_ DK_GUARDED_BY(mu_) = 0;
+  std::uint64_t background_scheduled_ DK_GUARDED_BY(mu_) = 0;
+  std::uint64_t background_resolved_ DK_GUARDED_BY(mu_) = 0;
   std::uint64_t traces_audited_ DK_GUARDED_BY(mu_) = 0;
   std::uint64_t counts_[kViolationKinds] DK_GUARDED_BY(mu_) = {};
   std::uint64_t total_ DK_GUARDED_BY(mu_) = 0;

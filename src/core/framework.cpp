@@ -48,6 +48,12 @@ Framework::Framework(sim::Simulator& sim, FrameworkConfig config)
     : sim_(sim), config_(config), traits_(variant_traits(config.variant)) {
   config_.cluster.seed = config_.seed;
   config_.cluster.integrity = config_.integrity;
+  // Blockstore station bandwidths left unset resolve from the calibration
+  // table, so the blockstore is calibrated like every other station.
+  if (!config_.blockstore.journal_bps)
+    config_.blockstore.journal_bps = config_.calib.journal_bps;
+  if (!config_.blockstore.compaction_bps)
+    config_.blockstore.compaction_bps = config_.calib.compaction_bps;
   config_.cluster.blockstore = config_.blockstore;
   cluster_ = std::make_unique<rados::Cluster>(sim_, config_.cluster);
   client_ = std::make_unique<rados::RadosClient>(*cluster_);
@@ -131,6 +137,17 @@ Framework::Framework(sim::Simulator& sim, FrameworkConfig config)
     mq_ = std::make_unique<blk::MqBlockLayer>(mqc, *driver_);
   }
 
+  // Background scrub/recovery must also attach after the conditional
+  // cluster rebuild, and before fault injection so a fault-plan mark-out
+  // finds the scheduler already registered with the cluster.
+  if (config_.background.enabled) {
+    background_ = std::make_unique<rados::BackgroundScheduler>(
+        *cluster_, config_.background);
+    cluster_->set_background(background_.get());
+    background_->set_validator(&validator_);
+    background_->start();
+  }
+
   // Fault injection must be armed after the conditional cluster rebuild
   // above, or the crash/restart timers would reference the discarded one.
   if (config_.fault_plan.enabled()) {
@@ -173,6 +190,9 @@ void Framework::wire_metrics() {
     m_checksum_failures_ = &metrics_.counter("integrity.checksum_failures");
     cluster_->attach_metrics(metrics_, "integrity");
   }
+  // background.* metrics exist only in background-armed stacks, keeping
+  // disarmed metric dumps byte-identical.
+  if (background_) background_->attach_metrics(metrics_, "background");
   // blockstore.* metrics exist only in blockstore-armed stacks; all OSDs
   // share the prefix, so counters aggregate and the occupancy gauge (delta
   // updates) sums cluster-wide journal occupancy.

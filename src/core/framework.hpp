@@ -29,6 +29,7 @@
 #include "fpga/device.hpp"
 #include "host/rbd.hpp"
 #include "host/uifd.hpp"
+#include "rados/background.hpp"
 #include "rados/client.hpp"
 #include "rados/cluster.hpp"
 #include "sim/faults.hpp"
@@ -89,6 +90,16 @@ struct FrameworkConfig {
   /// constructed, no blockstore.* metrics registered, and bench output
   /// stays byte-identical to builds without this subsystem.
   rados::BlockstoreConfig blockstore;
+
+  /// Time-charged background I/O: per-OSD deep scrub on staggered sim
+  /// timers with an IO-impact budget (token-bucket pacing at scrub_bps),
+  /// and paced recovery — a mark-out triggers backfill throttled at
+  /// recovery_max_bps, routed through the OSDs' two-class service stations
+  /// so it queues with (and yields to) client I/O. Default off
+  /// (enabled = false): no scheduler is constructed, no timers armed, no
+  /// background.* metrics registered, and bench output stays byte-identical
+  /// to builds without this subsystem.
+  rados::BackgroundConfig background;
 };
 
 struct FrameworkStats {
@@ -135,6 +146,10 @@ class Framework {
 
   /// Fault injector for this stack, or nullptr when fault_plan is empty.
   sim::FaultInjector* faults() { return faults_.get(); }
+
+  /// Background scheduler (scrub + paced recovery), or nullptr when
+  /// config.background.enabled is false.
+  rados::BackgroundScheduler* background() { return background_.get(); }
 
   sim::Simulator& simulator() { return sim_; }
   rados::Cluster& cluster() { return *cluster_; }
@@ -218,6 +233,7 @@ class Framework {
   std::unique_ptr<fpga::FpgaDevice> fpga_;
   std::unique_ptr<host::RbdDevice> image_;
   std::unique_ptr<sim::FaultInjector> faults_;
+  std::unique_ptr<rados::BackgroundScheduler> background_;
 
   // Host CPU stations: one per io_uring instance (or the single NBD loop).
   // Submissions (and the per-I/O deferred-bookkeeping occupancy) serialize

@@ -16,6 +16,11 @@ bool status_retryable(const Status& s) {
          s.code() == Errc::io_error;
 }
 
+/// Re-check cadence while a write is parked behind an in-flight recovery
+/// move on its object (Ceph's recovery_blocked). Short enough that the
+/// unblock latency is dominated by the move itself.
+constexpr Nanos kRecoveryBlockedRetryDelay = us(20);
+
 Nanos scaled_capped(Nanos base, double factor, unsigned attempt, Nanos cap) {
   double v = static_cast<double>(base);
   for (unsigned i = 0; i < attempt; ++i) v *= factor;
@@ -97,12 +102,25 @@ void RadosClient::arm_deadline(std::uint64_t op_id, Nanos timeout) {
     if (pend.is_read) {
       pend.rcb(std::move(s));
     } else {
+      cluster_.note_client_write_end(static_cast<std::uint32_t>(pend.pool),
+                                     pend.oid);
       pend.wcb(std::move(s));
     }
   });
 }
 
 void RadosClient::start_write_attempt(std::shared_ptr<WriteAttempt> ctx) {
+  if (cluster_.object_recovering(static_cast<std::uint32_t>(ctx->pool),
+                                 ctx->oid)) {
+    // Recovery holds this object's write lock (Ceph's recovery_blocked):
+    // re-try the attempt once the in-flight move has settled. The deadline
+    // is armed only when the attempt actually dispatches.
+    ++recovery_write_delays_;
+    cluster_.simulator().schedule_after(
+        kRecoveryBlockedRetryDelay,
+        [this, ctx] { start_write_attempt(ctx); });
+    return;
+  }
   auto attempt_cb = [this, ctx](Status s) {
     if (s.ok() || !status_retryable(s) ||
         ctx->attempt >= retry_->max_retries) {
@@ -192,6 +210,19 @@ std::uint64_t RadosClient::dispatch_write(int pool, std::uint64_t oid,
                                           std::vector<std::uint8_t> data,
                                           WriteStrategy strategy,
                                           WriteCallback cb) {
+  if (cluster_.object_recovering(static_cast<std::uint32_t>(pool), oid)) {
+    // No-retry clients reach here directly: defer the dispatch until the
+    // object's recovery move settles (see start_write_attempt).
+    ++recovery_write_delays_;
+    cluster_.simulator().schedule_after(
+        kRecoveryBlockedRetryDelay,
+        [this, pool, oid, offset, data = std::move(data), strategy,
+         cb = std::move(cb)]() mutable {
+          dispatch_write(pool, oid, offset, std::move(data), strategy,
+                         std::move(cb));
+        });
+    return 0;
+  }
   const auto& p = cluster_.pool(pool);
   auto acting = cluster_.acting_set(pool, oid, &work_);
   if (acting.size() < p.fanout()) {
@@ -214,7 +245,10 @@ std::uint64_t RadosClient::write_replicated(int pool, std::uint64_t oid,
                                             WriteCallback cb) {
   const std::uint64_t op_id = next_op_id_++;
   Pending pend;
+  pend.pool = pool;
+  pend.oid = oid;
   pend.wcb = std::move(cb);
+  cluster_.note_client_write_begin(static_cast<std::uint32_t>(pool), oid);
 
   if (strategy == WriteStrategy::primary_copy) {
     pend.awaiting = 1;
@@ -265,7 +299,10 @@ std::uint64_t RadosClient::write_ec(int pool, std::uint64_t oid,
   }
   const std::uint64_t op_id = next_op_id_++;
   Pending pend;
+  pend.pool = pool;
+  pend.oid = oid;
   pend.wcb = std::move(cb);
+  cluster_.note_client_write_begin(static_cast<std::uint32_t>(pool), oid);
 
   if (strategy == WriteStrategy::primary_copy) {
     pend.awaiting = 1;
@@ -352,14 +389,55 @@ std::uint64_t RadosClient::read_replicated(int pool, std::uint64_t oid,
                                            std::uint64_t offset,
                                            std::uint64_t length,
                                            const std::vector<int>& acting,
-                                           ReadCallback cb) {
-  // Degraded routing: serve from the first replica not known down. With a
-  // healthy acting set this is the primary, as before.
+                                           ReadCallback cb,
+                                           unsigned degraded_defers_left) {
+  // Degraded routing: serve from the first replica that is neither down
+  // nor awaiting backfill (a newcomer's copy is missing or stale until its
+  // recovery push lands). With a healthy acting set this is the primary,
+  // as before.
+  const ObjectKey key{static_cast<std::uint32_t>(pool), oid, -1};
   std::size_t choice = acting.size();
   for (std::size_t i = 0; i < acting.size(); ++i) {
-    if (!cluster_.osd_down(acting[i])) {
+    if (!cluster_.osd_down(acting[i]) &&
+        !cluster_.object_degraded(acting[i], key)) {
       choice = i;
       break;
+    }
+  }
+  if (choice == acting.size()) {
+    // Every live replica is still awaiting its recovery copy (a fully
+    // displaced PG): block the read until one lands, as Ceph recovers a
+    // degraded object before serving it. Re-dispatch with a fresh acting
+    // set each poll; the budget bounds pathological cases (recovery
+    // permanently cancelled) — once drained, fall through to the first
+    // live replica so the op still makes progress.
+    bool any_live = false;
+    for (int o : acting)
+      if (!cluster_.osd_down(o)) {
+        any_live = true;
+        break;
+      }
+    if (any_live && degraded_defers_left > 0) {
+      ++recovery_read_delays_;
+      cluster_.simulator().schedule_after(
+          kRecoveryBlockedRetryDelay,
+          [this, pool, oid, offset, length, cb = std::move(cb),
+           defers = degraded_defers_left - 1]() mutable {
+            auto fresh = cluster_.acting_set(pool, oid, &work_);
+            if (fresh.empty()) {
+              cb(Status::Error(Errc::not_found, "empty acting set"));
+              return;
+            }
+            read_replicated(pool, oid, offset, length, fresh, std::move(cb),
+                            defers);
+          });
+      return 0;
+    }
+    for (std::size_t i = 0; i < acting.size(); ++i) {
+      if (!cluster_.osd_down(acting[i])) {
+        choice = i;
+        break;
+      }
     }
   }
   if (choice == acting.size()) {
@@ -408,11 +486,23 @@ std::uint64_t RadosClient::read_ec(int pool, std::uint64_t oid,
     return 0;
   }
 
-  // A down primary cannot gather shards: fall back to reading the shards
-  // directly (decoding locally if needed) instead of failing.
-  if (strategy == ReadStrategy::primary && cluster_.osd_down(acting[0])) {
-    count_degraded_read();
-    strategy = ReadStrategy::direct_shards;
+  auto shard_key = [pool, oid](unsigned s) {
+    return ObjectKey{static_cast<std::uint32_t>(pool), oid,
+                     static_cast<std::int32_t>(s)};
+  };
+
+  // A down primary cannot gather shards — and a primary gather returns the
+  // data shards verbatim, so any data-shard holder still awaiting recovery
+  // would contribute missing bytes. Either way, fall back to reading the
+  // shards directly (decoding around the hole locally) instead of failing.
+  if (strategy == ReadStrategy::primary) {
+    bool gather_unsafe = cluster_.osd_down(acting[0]);
+    for (unsigned s = 0; !gather_unsafe && s < k; ++s)
+      gather_unsafe = cluster_.object_degraded(acting[s], shard_key(s));
+    if (gather_unsafe) {
+      count_degraded_read();
+      strategy = ReadStrategy::direct_shards;
+    }
   }
 
   if (strategy == ReadStrategy::primary) {
@@ -444,11 +534,13 @@ std::uint64_t RadosClient::read_ec(int pool, std::uint64_t oid,
     return op_id;
   }
 
-  // direct_shards: fetch any k alive shards in parallel; prefer the k data
-  // shards so the healthy path needs no decode.
+  // direct_shards: fetch any k alive, fully-recovered shards in parallel;
+  // prefer the k data shards so the healthy path needs no decode.
   std::vector<unsigned> shards;
   for (unsigned s = 0; s < acting.size() && shards.size() < k; ++s)
-    if (!cluster_.osd_down(acting[s])) shards.push_back(s);
+    if (!cluster_.osd_down(acting[s]) &&
+        !cluster_.object_degraded(acting[s], shard_key(s)))
+      shards.push_back(s);
   if (shards.size() < k) {
     cb(Status::Error(Errc::io_error, "fewer than k shards available"));
     return 0;
@@ -516,6 +608,8 @@ void RadosClient::on_reply(std::shared_ptr<OpBody> body) {
     metrics_.inflight->sub();
   }
   if (!pend.is_read) {
+    cluster_.note_client_write_end(static_cast<std::uint32_t>(pend.pool),
+                                   pend.oid);
     auto cb = std::move(pend.wcb);
     pending_.erase(it);
     cb(Status::Ok());
@@ -638,7 +732,12 @@ unsigned RadosClient::issue_more_shards(std::uint64_t op_id, Pending& pend,
   const std::uint64_t shard_off = pend.offset / pend.k;
   unsigned issued = 0;
   for (unsigned s = 0; s < pend.k + pend.m && issued < want; ++s) {
-    if (pend.tried[s] || cluster_.osd_down(pend.acting[s])) continue;
+    if (pend.tried[s] || cluster_.osd_down(pend.acting[s]) ||
+        cluster_.object_degraded(
+            pend.acting[s],
+            ObjectKey{static_cast<std::uint32_t>(pend.pool), pend.oid,
+                      static_cast<std::int32_t>(s)}))
+      continue;
     pend.tried[s] = 1;
     ++pend.awaiting;
     ++issued;
@@ -777,9 +876,12 @@ void RadosClient::handle_integrity_read_reply(PendingIt it,
   // Replicated: mark this copy bad and walk to the next untried live
   // replica under the same op (awaiting stays 1).
   pend.bad_replicas.push_back(static_cast<int>(pend.current));
+  const ObjectKey walk_key{static_cast<std::uint32_t>(pend.pool), pend.oid,
+                           -1};
   std::size_t next = pend.acting.size();
   for (std::size_t i = 0; i < pend.acting.size(); ++i) {
-    if (!pend.tried[i] && !cluster_.osd_down(pend.acting[i])) {
+    if (!pend.tried[i] && !cluster_.osd_down(pend.acting[i]) &&
+        !cluster_.object_degraded(pend.acting[i], walk_key)) {
       next = i;
       break;
     }

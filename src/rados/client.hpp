@@ -84,6 +84,14 @@ class RadosClient {
   /// Reads served off the degraded path: non-primary replica, EC primary
   /// fallback to direct shards, or parity reconstruction.
   std::uint64_t degraded_reads() const { return degraded_reads_; }
+  /// Writes deferred because their object's recovery move was in flight
+  /// (Ceph's recovery_blocked): the client-visible cost of paced backfill.
+  std::uint64_t recovery_write_delays() const {
+    return recovery_write_delays_;
+  }
+  /// Reads deferred because every live replica of the object was still
+  /// awaiting its recovery copy (fully-displaced PG after a reweight).
+  std::uint64_t recovery_read_delays() const { return recovery_read_delays_; }
 
   /// Arm client-side integrity: per-4kB CRC32C checksums attached to
   /// block-aligned writes, verification of read replies, and read-repair —
@@ -204,10 +212,15 @@ class RadosClient {
                          std::vector<std::uint8_t> data,
                          const std::vector<int>& acting,
                          WriteStrategy strategy, WriteCallback cb);
+  // `degraded_defers_left` bounds how long a read blocks behind recovery
+  // when every live replica of the object is still awaiting its copy.
+  static constexpr unsigned kMaxDegradedReadDefers = 50'000;
   std::uint64_t read_replicated(int pool, std::uint64_t oid,
                                 std::uint64_t offset, std::uint64_t length,
                                 const std::vector<int>& acting,
-                                ReadCallback cb);
+                                ReadCallback cb,
+                                unsigned degraded_defers_left =
+                                    kMaxDegradedReadDefers);
   std::uint64_t read_ec(int pool, std::uint64_t oid, std::uint64_t offset,
                         std::uint64_t length, const std::vector<int>& acting,
                         ReadStrategy strategy, ReadCallback cb);
@@ -231,6 +244,8 @@ class RadosClient {
   std::uint64_t retries_read_ = 0;
   std::uint64_t timeouts_ = 0;
   std::uint64_t degraded_reads_ = 0;
+  std::uint64_t recovery_write_delays_ = 0;
+  std::uint64_t recovery_read_delays_ = 0;
   bool integrity_ = false;
   PipelineValidator* validator_ = nullptr;
   std::uint64_t checksum_failures_ = 0;

@@ -3,6 +3,7 @@
 
 #include "common/check.hpp"
 #include "crush/hash.hpp"
+#include "rados/background.hpp"
 
 namespace dk::rados {
 
@@ -105,6 +106,9 @@ void Cluster::set_osd_down(int id, bool down) {
 
 void Cluster::set_osd_out(int id, bool out) {
   layout_.map.set_device_out(id, out);
+  // A mark-out reweights CRUSH: placement changed, so the background
+  // scheduler (when armed) plans and executes a paced backfill.
+  if (out && background_ != nullptr) background_->on_placement_change();
 }
 
 void Cluster::crash_osd(int id) {
@@ -221,30 +225,45 @@ void Cluster::send_from_osd(int src_osd, int dst,
 }
 
 void Cluster::backfill(int from_osd, int to_osd, const ObjectKey& key,
-                       std::function<void()> done) {
+                       std::function<void()> done, bool background) {
   Osd& src = osd(from_osd);
   const std::uint64_t size = src.store().object_size(key);
   auto data = src.store().read(key, 0, size);
   const Nanos read_svc =
       src.service_time(size, /*is_write=*/false, key, /*offset=*/0);
-  sim_.schedule_after(read_svc, [this, from_osd, to_osd, key,
-                                 data = std::move(data),
-                                 done = std::move(done)]() mutable {
+  auto push = [this, from_osd, to_osd, key, background,
+               data = std::move(data), done = std::move(done)]() mutable {
     auto body = std::make_shared<OpBody>();
     body->type = OpType::backfill_push;
     body->key = key;
     body->offset = 0;
     body->data = std::move(data);
     body->reply_osd = from_osd;
+    body->background = background;
+    if (background) {
+      // The source stays in the acting set and keeps absorbing client
+      // writes while this paced push queues; re-sampling at apply time
+      // makes the copy land with the latest content instead of the
+      // grant-time snapshot (which would roll back concurrent writes).
+      body->refresh_payload = [this, from_osd, key] {
+        const ObjectStore& store = osd(from_osd).store();
+        return store.read(key, 0, store.object_size(key));
+      };
+    }
     body->on_done = std::move(done);
     send_from_osd(from_osd, to_osd, std::move(body));
-  });
+  };
+  if (background)
+    src.submit_background(read_svc, std::move(push));
+  else
+    sim_.schedule_after(read_svc, std::move(push));
 }
 
 void Cluster::reconstruct_shard(
     const std::vector<std::pair<int, ObjectKey>>& sources, int to_osd,
     const ObjectKey& target_key, std::vector<std::uint8_t> rebuilt,
-    std::function<void()> done) {
+    std::function<void()> done, bool background,
+    std::function<std::vector<std::uint8_t>()> refresh) {
   struct Gather {
     std::size_t awaiting;
     std::function<void()> done;
@@ -253,7 +272,8 @@ void Cluster::reconstruct_shard(
   gather->awaiting = sources.size();
   gather->done = std::move(done);
 
-  auto finish = [this, to_osd, target_key, rebuilt = std::move(rebuilt),
+  auto finish = [this, to_osd, target_key, background,
+                 rebuilt = std::move(rebuilt), refresh = std::move(refresh),
                  gather]() mutable {
     // All sibling shards arrived: charge the decode + local write, persist.
     Osd& dst = osd(to_osd);
@@ -261,16 +281,25 @@ void Cluster::reconstruct_shard(
         rebuilt.size() * 4 /* ~k GF ops per byte */, config_.osd.ec_encode_bps);
     const Nanos write_svc = dst.service_time(rebuilt.size(), /*is_write=*/true,
                                              target_key, /*offset=*/0);
-    sim_.schedule_after(decode + write_svc,
-                        [this, to_osd, target_key,
-                         rebuilt = std::move(rebuilt), gather] {
-                          // Durable-apply path: the rebuilt shard is
-                          // journaled like any client write, so a crash
-                          // mid-reconstruction stays recoverable.
-                          osd(to_osd).apply_durable(target_key, 0, rebuilt,
-                                                    {});
-                          gather->done();
-                        });
+    auto persist = [this, to_osd, target_key, rebuilt = std::move(rebuilt),
+                    refresh = std::move(refresh), gather]() mutable {
+      // Re-decode from the siblings' current content when asked (paced
+      // background reconstruction racing client writes); see backfill().
+      if (refresh) rebuilt = refresh();
+      // Durable-apply path: the rebuilt shard is
+      // journaled like any client write, so a crash
+      // mid-reconstruction stays recoverable.
+      osd(to_osd).apply_durable(target_key, 0, rebuilt,
+                                {});
+      gather->done();
+    };
+    // Background reconstruction occupies the target's op threads for the
+    // decode + write (contending with client ops); the legacy path charges
+    // the time off-station, byte-identical to before.
+    if (background)
+      dst.submit_background(decode + write_svc, std::move(persist));
+    else
+      sim_.schedule_after(decode + write_svc, std::move(persist));
   };
 
   if (sources.empty()) {
@@ -282,20 +311,24 @@ void Cluster::reconstruct_shard(
     const std::uint64_t size = src.store().object_size(sibling_key);
     const Nanos read_svc =
         src.service_time(size, /*is_write=*/false, sibling_key, 0);
-    sim_.schedule_after(
-        read_svc, [this, holder, to_osd, sibling_key, size, gather,
-                   finish]() mutable {
-          auto body = std::make_shared<OpBody>();
-          body->type = OpType::backfill_push;
-          body->key = sibling_key;
-          body->data = osd(holder).store().read(sibling_key, 0, size);
-          body->transient = true;
-          body->reply_osd = holder;
-          body->on_done = [gather, finish]() mutable {
-            if (--gather->awaiting == 0) finish();
-          };
-          send_from_osd(holder, to_osd, std::move(body));
-        });
+    auto push = [this, holder, to_osd, sibling_key, size, background, gather,
+                 finish]() mutable {
+      auto body = std::make_shared<OpBody>();
+      body->type = OpType::backfill_push;
+      body->key = sibling_key;
+      body->data = osd(holder).store().read(sibling_key, 0, size);
+      body->transient = true;
+      body->reply_osd = holder;
+      body->background = background;
+      body->on_done = [gather, finish]() mutable {
+        if (--gather->awaiting == 0) finish();
+      };
+      send_from_osd(holder, to_osd, std::move(body));
+    };
+    if (background)
+      src.submit_background(read_svc, std::move(push));
+    else
+      sim_.schedule_after(read_svc, std::move(push));
   }
 }
 

@@ -7,8 +7,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/metrics.hpp"
@@ -21,6 +24,8 @@
 #include "sim/simulator.hpp"
 
 namespace dk::rados {
+
+class BackgroundScheduler;
 
 struct PoolConfig {
   enum class Mode { replicated, erasure };
@@ -135,17 +140,79 @@ class Cluster {
 
   /// Recovery copy: read `key` on `from_osd`, push it over the network to
   /// `to_osd`, persist there, then fire `done`. Charges source read
-  /// service, wire transfer, and destination write service.
+  /// service, wire transfer, and destination write service. With
+  /// `background` set both ends ride the OSDs' background service class
+  /// (the source read occupies the source station instead of running off
+  /// to the side), so the copy queues with — and yields to — client I/O.
   void backfill(int from_osd, int to_osd, const ObjectKey& key,
-                std::function<void()> done);
+                std::function<void()> done, bool background = false);
 
   /// EC shard reconstruction: stream k surviving sibling shards from their
   /// holders to `to_osd` (transient pushes), charge the decode there, then
   /// persist the caller-provided rebuilt shard bytes under `target_key`.
+  /// `background` routes every leg through the background service class,
+  /// like backfill(). `refresh`, when set, re-derives the rebuilt bytes at
+  /// persist time so a paced reconstruction that queued behind client
+  /// traffic lands with the siblings' latest content.
   void reconstruct_shard(
       const std::vector<std::pair<int, ObjectKey>>& sources, int to_osd,
       const ObjectKey& target_key, std::vector<std::uint8_t> rebuilt,
-      std::function<void()> done);
+      std::function<void()> done, bool background = false,
+      std::function<std::vector<std::uint8_t>()> refresh = {});
+
+  /// Attach the background scheduler (scrub + paced recovery). The cluster
+  /// notifies it when an OSD is marked out, so a CRUSH reweight triggers
+  /// paced backfill automatically.
+  void set_background(BackgroundScheduler* background) {
+    background_ = background;
+  }
+
+  /// Recovery bookkeeping: while a planned backfill/reconstruction for
+  /// (osd, key) has not landed, that OSD's copy is missing or stale and
+  /// reads must route around it — the model's stand-in for a Ceph primary
+  /// recovering a degraded object before serving it. Marked when a paced
+  /// plan starts executing, cleared as each copy persists; a cancelled move
+  /// (endpoint crashed) stays marked until a later round lands it.
+  void mark_object_degraded(int osd_id, const ObjectKey& key) {
+    degraded_.insert({osd_id, key});
+  }
+  void clear_object_degraded(int osd_id, const ObjectKey& key) {
+    degraded_.erase({osd_id, key});
+  }
+  bool object_degraded(int osd_id, const ObjectKey& key) const {
+    return degraded_.count({osd_id, key}) != 0;
+  }
+  std::size_t degraded_objects() const { return degraded_.size(); }
+
+  /// Client-write vs recovery serialization (Ceph's recovery_blocked): a
+  /// paced move launches only when no client write to its object is in
+  /// flight, and client writes to an object whose move is mid-flight defer
+  /// until it settles. Without this barrier a backfill copy races the
+  /// replica fan-out and can persist a snapshot missing a write that one
+  /// member already applied. Keyed by (pool, oid) — shard-agnostic, since
+  /// a client write touches every shard.
+  void note_client_write_begin(std::uint32_t pool, std::uint64_t oid) {
+    ++writes_inflight_[{pool, oid}];
+  }
+  void note_client_write_end(std::uint32_t pool, std::uint64_t oid) {
+    auto it = writes_inflight_.find({pool, oid});
+    if (it == writes_inflight_.end()) return;
+    if (--it->second == 0) writes_inflight_.erase(it);
+  }
+  bool client_write_inflight(const ObjectKey& key) const {
+    return writes_inflight_.count({key.pool, key.oid}) != 0;
+  }
+  void note_recovery_begin(const ObjectKey& key) {
+    ++recovering_[{key.pool, key.oid}];
+  }
+  void note_recovery_end(const ObjectKey& key) {
+    auto it = recovering_.find({key.pool, key.oid});
+    if (it == recovering_.end()) return;
+    if (--it->second == 0) recovering_.erase(it);
+  }
+  bool object_recovering(std::uint32_t pool, std::uint64_t oid) const {
+    return recovering_.count({pool, oid}) != 0;
+  }
 
  private:
   void send_from_osd(int src_osd, int dst, std::shared_ptr<OpBody> body);
@@ -162,6 +229,10 @@ class Cluster {
   std::vector<PoolConfig> pools_;
   std::function<void(std::shared_ptr<OpBody>)> client_handler_;
   sim::FaultInjector* faults_ = nullptr;
+  BackgroundScheduler* background_ = nullptr;
+  std::set<std::pair<int, ObjectKey>> degraded_;
+  std::map<std::pair<std::uint32_t, std::uint64_t>, unsigned> writes_inflight_;
+  std::map<std::pair<std::uint32_t, std::uint64_t>, unsigned> recovering_;
   std::uint64_t torn_writes_replayed_ = 0;
   Counter* torn_replayed_metric_ = nullptr;
 };

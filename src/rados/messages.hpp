@@ -54,6 +54,14 @@ struct OpBody {
   // Transient pushes (EC reconstruction gathers) are not persisted at the
   // destination; they only charge transfer + service time.
   bool transient = false;
+  // Background service class (paced scrub/backfill): the receiving OSD
+  // queues this op behind client work, admitted by its starvation guard.
+  bool background = false;
+  // Background pushes re-sample the source object at destination-apply time:
+  // a paced copy can spend a long while queued behind client traffic, and
+  // persisting the grant-time snapshot would clobber any client write that
+  // landed in between. The wire/service costs still use the grant-time size.
+  std::function<std::vector<std::uint8_t>()> refresh_payload;
   // Integrity mode: per-4kB-block CRC-32C of `data`. On writes the client
   // attaches them so the OSD can store what the client computed; on read
   // replies the OSD attaches the stored checksums so the client can verify

@@ -111,6 +111,24 @@ class Osd {
     apply_write(key, offset, data, checksums);
   }
 
+  /// Enqueue background-class work (scrub chunk read, backfill persist,
+  /// repair rewrite) on this OSD's op-thread station: it queues behind
+  /// client ops and is admitted by the station's starvation guard, so
+  /// background traffic costs simulated time and contends for the same
+  /// service capacity as foreground I/O.
+  void submit_background(Nanos service, sim::EventFn done) {
+    workers_.submit_background(service, std::move(done));
+  }
+
+  /// The op-thread station (background-class accounting: bg_busy_time(),
+  /// preemptions()).
+  const sim::FifoServer& workers() const { return workers_; }
+
+  /// Tune the station's starvation guard (see FifoServer::set_starve_limit).
+  void set_background_starve_limit(unsigned n) {
+    workers_.set_starve_limit(n);
+  }
+
   /// Sampled service time for an op of `bytes` at (key, offset); queueing
   /// not included. Models two cache effects of the real backend:
   ///   * readahead — a read contiguous with the previous read of the same

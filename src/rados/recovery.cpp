@@ -6,11 +6,16 @@
 #include <optional>
 #include <set>
 
+#include "common/pipeline_validator.hpp"
 #include "ec/reed_solomon.hpp"
 
 namespace dk::rados {
 
 namespace {
+
+/// Re-check cadence for a paced move parked behind an in-flight client
+/// write on its object (the launch side of the recovery_blocked barrier).
+constexpr Nanos kWriteDrainRecheck = us(20);
 
 /// Where every copy/shard of the pool's objects currently lives:
 /// key (with shard) -> holder OSD ids.
@@ -195,6 +200,129 @@ void RecoveryManager::execute(const RecoveryPlan& plan, unsigned max_parallel,
   const std::size_t starters =
       std::min<std::size_t>(max_parallel ? max_parallel : 1,
                             plan.moves.size());
+  for (std::size_t i = 0; i < starters; ++i) state->pump();
+}
+
+void RecoveryManager::execute_paced(const RecoveryPlan& plan,
+                                    const PacedOptions& options,
+                                    std::function<void()> done) {
+  if (plan.moves.empty()) {
+    cluster_.simulator().schedule_after(0, std::move(done));
+    return;
+  }
+  struct State {
+    const RecoveryPlan* plan;
+    PacedOptions options;
+    int pool = 0;
+    std::size_t next = 0;
+    std::size_t completed = 0;
+    std::function<void()> done;
+    std::function<void()> pump;
+  };
+  auto state = std::make_shared<State>();
+  state->plan = &plan;
+  state->options = options;
+  state->pool = plan.pool;
+  state->done = std::move(done);
+
+  // Every planned destination is degraded until its copy lands: client
+  // reads route around it (Cluster::object_degraded) instead of being
+  // served not-yet-backfilled bytes. The object's write lock is taken for
+  // the same span (Ceph's recovery_blocked): the plan's sources are frozen
+  // at planning, so a write slipping in before the copy lands could reach
+  // only the destination (or mutate a sibling shard mid-stripe) and be
+  // clobbered by the push.
+  for (const RecoveryMove& move : plan.moves) {
+    cluster_.mark_object_degraded(move.to_osd, move.key);
+    cluster_.note_recovery_begin(move.key);
+  }
+
+  // Same weak-self pump as execute(), with a token grant ahead of each
+  // launch: a move waits until the recovery bucket (filled at max_bps) has
+  // its bytes, clipped at pace_cap so an over-subscribed budget can delay
+  // backfill but never park it.
+  state->pump = [this, weak = std::weak_ptr<State>(state)] {
+    auto state = weak.lock();
+    if (!state || state->next >= state->plan->moves.size()) return;
+    const RecoveryMove move = state->plan->moves[state->next++];
+
+    sim::Simulator& sim = cluster_.simulator();
+    const Nanos now = sim.now();
+    Nanos earliest = std::max(now, next_grant_);
+    if (state->options.pace_cap > 0 &&
+        earliest - now > state->options.pace_cap)
+      earliest = now + state->options.pace_cap;
+    if (earliest > now) ++throttle_waits_;
+    next_grant_ =
+        earliest + (state->options.max_bps > 0
+                        ? transfer_time(move.bytes, state->options.max_bps)
+                        : 0);
+    if (validator_ != nullptr) validator_->on_background_scheduled();
+
+    auto settle = [this, state, move](bool landed) {
+      cluster_.note_recovery_end(move.key);
+      if (landed) {
+        ++recovered_;
+        bytes_ += move.bytes;
+        cluster_.clear_object_degraded(move.to_osd, move.key);
+      } else {
+        // The copy never landed (an endpoint crashed): the destination
+        // stays degraded until a later round completes the move.
+        ++moves_cancelled_;
+      }
+      if (validator_ != nullptr) validator_->on_background_resolved();
+      if (++state->completed == state->plan->moves.size()) {
+        state->done();
+        return;
+      }
+      state->pump();
+    };
+    // The launch re-arms itself while a client write to this object is in
+    // flight: a copy snapshotted mid-fan-out could persist a version one
+    // member has already superseded. Once launched, the object's write
+    // lock (note_recovery_begin) holds until the move settles.
+    auto launch = [this, state, move, settle](auto&& self) -> void {
+      sim::Simulator& sim = cluster_.simulator();
+      if (cluster_.client_write_inflight(move.key)) {
+        ++write_blocked_defers_;
+        sim.schedule_after(kWriteDrainRecheck,
+                           [s = self]() mutable { s(s); });
+        return;
+      }
+      // A crash since planning cancels the move (a later re-plan picks
+      // it up); launching anyway would push into a dead OSD and the
+      // copy would never resolve.
+      const bool source_dead =
+          move.reconstruct
+              ? std::any_of(move.sources.begin(), move.sources.end(),
+                            [this](const std::pair<int, ObjectKey>& s) {
+                              return cluster_.osd(s.first).crashed();
+                            })
+              : cluster_.osd(move.from_osd).crashed();
+      if (source_dead || cluster_.osd(move.to_osd).crashed()) {
+        settle(false);
+        return;
+      }
+      auto on_done = [settle = settle]() mutable { settle(true); };
+      if (move.reconstruct) {
+        cluster_.reconstruct_shard(
+            move.sources, move.to_osd, move.key,
+            rebuild_shard(state->pool, move), std::move(on_done),
+            /*background=*/true,
+            /*refresh=*/[this, pool = state->pool, move] {
+              return rebuild_shard(pool, move);
+            });
+      } else {
+        cluster_.backfill(move.from_osd, move.to_osd, move.key,
+                          std::move(on_done), /*background=*/true);
+      }
+    };
+    sim.schedule_at(earliest, [launch = std::move(launch)]() mutable {
+      launch(launch);
+    });
+  };
+  const std::size_t starters = std::min<std::size_t>(
+      options.max_parallel ? options.max_parallel : 1, plan.moves.size());
   for (std::size_t i = 0; i < starters; ++i) state->pump();
 }
 

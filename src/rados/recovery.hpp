@@ -65,6 +65,36 @@ class RecoveryManager {
   void execute(const RecoveryPlan& plan, unsigned max_parallel,
                std::function<void()> done);
 
+  /// Throttle knobs for execute_paced().
+  struct PacedOptions {
+    // Recovery token bucket: move launches are granted at this byte rate
+    // across the whole plan (0 = unpaced).
+    double max_bps = 0;
+    unsigned max_parallel = 4;
+    // Starvation guard: no move waits longer than this for its grant, so
+    // backfill keeps moving even under an over-subscribed budget (0 = no
+    // cap).
+    Nanos pace_cap = ms(5);
+  };
+
+  /// Background-work accounting: each paced move is scheduled/resolved on
+  /// the validator (the background_leak quiescence rule).
+  void set_validator(PipelineValidator* validator) { validator_ = validator; }
+
+  /// Execute a plan like execute(), but throttled by a token bucket at
+  /// `max_bps` and routed through the OSDs' background service class, so
+  /// every copy queues with — and yields to — client I/O. Moves whose
+  /// source or target crashed by grant time are cancelled (counted in
+  /// moves_cancelled()), not retried; a later re-plan picks them up.
+  void execute_paced(const RecoveryPlan& plan, const PacedOptions& options,
+                     std::function<void()> done);
+
+  std::uint64_t throttle_waits() const { return throttle_waits_; }
+  std::uint64_t moves_cancelled() const { return moves_cancelled_; }
+  /// Paced-move launches deferred behind an in-flight client write on the
+  /// same object (the other half of the recovery_blocked barrier).
+  std::uint64_t write_blocked_defers() const { return write_blocked_defers_; }
+
   /// Deep scrub: verify every stored object of the pool against its acting
   /// set. With cluster integrity armed the deep check is checksum-based —
   /// every copy and EC shard is verified against its stored block CRCs, so
@@ -78,7 +108,9 @@ class RecoveryManager {
   /// verified source — another replica, or an EC decode of k verified
   /// siblings. Unrepairable copies (no verified source) stay counted in
   /// `checksum_failures` but not `repaired`. Store mutations are immediate;
-  /// no simulated time is charged (scrub runs between measured phases).
+  /// no simulated time is charged (this scrub runs between measured phases
+  /// — the in-band, time-charged variant is BackgroundScheduler's paced
+  /// deep scrub).
   ScrubReport repair(int pool);
 
   std::uint64_t objects_recovered() const { return recovered_; }
@@ -94,9 +126,15 @@ class RecoveryManager {
                                           const RecoveryMove& move) const;
 
   Cluster& cluster_;
+  PipelineValidator* validator_ = nullptr;
   std::uint64_t recovered_ = 0;
   std::uint64_t bytes_ = 0;
   std::uint64_t scrub_repairs_ = 0;
+  // Paced execution: earliest next token grant, and its accounting.
+  Nanos next_grant_ = 0;
+  std::uint64_t throttle_waits_ = 0;
+  std::uint64_t moves_cancelled_ = 0;
+  std::uint64_t write_blocked_defers_ = 0;
   Counter* scrub_repairs_metric_ = nullptr;
 };
 

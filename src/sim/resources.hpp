@@ -17,7 +17,15 @@
 
 namespace dk::sim {
 
-/// c-server FIFO queueing station.
+/// c-server FIFO queueing station with two service classes.
+///
+/// The default (client) class is strict FIFO. The background class
+/// (submit_background) models scrub/backfill traffic: its jobs are only
+/// dispatched when no client job is waiting — except that a starvation
+/// guard admits one background job after `starve_limit` consecutive client
+/// dispatches bypassed waiting background work, so background I/O always
+/// makes forward progress under sustained client load. With the background
+/// queue unused the station behaves exactly like a plain FIFO server.
 class FifoServer {
  public:
   FifoServer(Simulator& sim, unsigned servers, const char* name = "server")
@@ -26,12 +34,29 @@ class FifoServer {
   const char* name() const { return name_; }
   unsigned free_servers() const { return free_; }
   std::size_t queue_depth() const { return waiting_.size(); }
+  std::size_t background_queue_depth() const { return bg_waiting_.size(); }
   std::uint64_t completed() const { return completed_; }
   Nanos busy_time() const { return busy_time_; }
+  /// Portion of busy_time() spent serving background-class jobs.
+  Nanos bg_busy_time() const { return bg_busy_time_; }
+  /// Client dispatches that bypassed waiting background work.
+  std::uint64_t preemptions() const { return preemptions_; }
+
+  /// Consecutive client dispatches tolerated while background work waits
+  /// before the starvation guard admits one background job (0 = background
+  /// is served only on an idle client queue).
+  void set_starve_limit(unsigned limit) { starve_limit_ = limit; }
 
   /// Enqueue a job with the given service time; `done` fires at completion.
   void submit(Nanos service_time, EventFn done) {
     waiting_.push_back(Job{service_time, std::move(done)});
+    pump();
+  }
+
+  /// Enqueue a background-class job (scrub chunk, backfill persist, repair
+  /// rewrite): it yields to queued client jobs up to the starvation guard.
+  void submit_background(Nanos service_time, EventFn done) {
+    bg_waiting_.push_back(Job{service_time, std::move(done)});
     pump();
   }
 
@@ -49,11 +74,23 @@ class FifoServer {
   };
 
   void pump() {
-    while (free_ > 0 && !waiting_.empty()) {
-      Job job = std::move(waiting_.front());
-      waiting_.pop_front();
+    while (free_ > 0 && (!waiting_.empty() || !bg_waiting_.empty())) {
+      const bool serve_bg =
+          !bg_waiting_.empty() &&
+          (waiting_.empty() ||
+           (starve_limit_ > 0 && starved_ >= starve_limit_));
+      std::deque<Job>& queue = serve_bg ? bg_waiting_ : waiting_;
+      if (serve_bg) {
+        starved_ = 0;
+      } else if (!bg_waiting_.empty()) {
+        ++starved_;
+        ++preemptions_;
+      }
+      Job job = std::move(queue.front());
+      queue.pop_front();
       --free_;
       busy_time_ += job.service;
+      if (serve_bg) bg_busy_time_ += job.service;
       sim_.schedule_after(job.service,
                           [this, done = std::move(job.done)]() mutable {
                             ++free_;
@@ -68,8 +105,13 @@ class FifoServer {
   unsigned free_;
   const char* name_;
   std::deque<Job> waiting_;
+  std::deque<Job> bg_waiting_;
   std::uint64_t completed_ = 0;
   Nanos busy_time_ = 0;
+  Nanos bg_busy_time_ = 0;
+  std::uint64_t preemptions_ = 0;
+  unsigned starve_limit_ = 8;
+  unsigned starved_ = 0;
 };
 
 /// Serializing bandwidth pipe: transfers occupy the channel back-to-back.

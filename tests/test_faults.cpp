@@ -110,6 +110,10 @@ struct ChaosOutcome {
   std::uint64_t torn_replayed = 0;
   std::uint64_t journal_trims = 0;      // blockstore runs: trim policy ran
   std::uint64_t journal_occupancy = 0;  // cluster-wide, at drain
+  std::uint64_t scrub_bytes = 0;        // background runs: paced deep scrub
+  std::uint64_t backfill_bytes = 0;     // background runs: paced recovery
+  std::uint64_t throttle_waits = 0;
+  Nanos ttfr = 0;                       // time-to-full-redundancy
   sim::FaultStats faults;
 };
 
@@ -236,6 +240,12 @@ ChaosOutcome chaos_run_with(const core::FrameworkConfig& cfg,
     out.journal_trims = c->value();
   if (const Gauge* g = fw.metrics().find_gauge("blockstore.journal.occupancy"))
     out.journal_occupancy = static_cast<std::uint64_t>(g->value());
+  if (rados::BackgroundScheduler* bg = fw.background()) {
+    out.scrub_bytes = bg->scrub_bytes();
+    out.backfill_bytes = bg->backfill_bytes();
+    out.throttle_waits = bg->throttle_waits();
+    out.ttfr = bg->time_to_full_redundancy();
+  }
   out.faults = fw.faults()->stats();
   return out;
 }
@@ -462,6 +472,69 @@ TEST(ChaosSweep, BlockstoreArmedTornCrashLosesNoAcknowledgedWrites) {
       << "restart must replay the blockstore journal";
   EXPECT_GT(agg.journal_trims, 0u)
       << "the journal cap/trim policy never ran under load";
+  EXPECT_GT(agg.completed_ok, agg.errored);
+}
+
+// --- Background chaos: scrub + paced recovery under a permanent mark-out ----
+
+/// Background-armed stack with a permanent single-OSD crash: the monitor
+/// marks the victim out at ms(2), the CRUSH reweight triggers paced
+/// backfill, and the staggered scrub timers keep reading chunks through the
+/// same stations the whole time. Every scheduled chunk and move must
+/// resolve (the background_leak rule) and client I/O must survive the storm.
+core::FrameworkConfig background_chaos_config(std::uint64_t seed) {
+  core::FrameworkConfig cfg;
+  cfg.variant = core::VariantKind::delibak;
+  cfg.pool_mode = seed % 2 == 0 ? core::PoolMode::replicated
+                                : core::PoolMode::erasure;
+  cfg.image_size = 32 * MiB;
+  cfg.background.enabled = true;
+  cfg.background.scrub_interval = ms(4);
+  cfg.background.horizon = ms(20);
+  cfg.background.scrub_bps = 50.0e6;
+  cfg.background.recovery_max_bps = 100.0e6;
+
+  sim::FaultPlan plan;
+  plan.seed = seed;
+  sim::OsdCrashEvent crash;
+  crash.osd = static_cast<int>(seed % 32);
+  crash.crash_at = ms(1);
+  crash.restart_at = 0;          // never restarts: the reweight is permanent
+  crash.mark_out_after = ms(1);  // monitor mark-out at ms(2) -> paced backfill
+  plan.osd_crashes.push_back(crash);
+  cfg.fault_plan = plan;
+  return cfg;
+}
+
+TEST(ChaosSweep, BackgroundArmedRebuildStormLosesNoIosAndLeaksNoWork) {
+  ChaosOutcome agg;
+  std::uint64_t ttfr_episodes = 0;
+  const std::uint64_t base = base_seed();
+  for (std::uint64_t i = 0; i < kSeeds; ++i) {
+    const std::uint64_t seed = base + i;
+    SCOPED_TRACE("background seed=" + std::to_string(seed));
+    const ChaosOutcome out =
+        chaos_run_with(background_chaos_config(seed), seed);
+    EXPECT_EQ(out.submitted, out.completed_ok + out.errored)
+        << "lost I/Os: neither completed nor errored";
+    EXPECT_EQ(out.verify_mismatches, 0u);
+    EXPECT_EQ(out.leaks, 0u)
+        << "a scrub chunk or recovery move neither completed nor cancelled";
+    agg.submitted += out.submitted;
+    agg.completed_ok += out.completed_ok;
+    agg.errored += out.errored;
+    agg.scrub_bytes += out.scrub_bytes;
+    agg.backfill_bytes += out.backfill_bytes;
+    agg.throttle_waits += out.throttle_waits;
+    agg.faults.osd_crashes += out.faults.osd_crashes;
+    if (out.ttfr > 0) ++ttfr_episodes;
+  }
+  EXPECT_EQ(agg.faults.osd_crashes, kSeeds);
+  EXPECT_GT(agg.scrub_bytes, 0u) << "scrub never ran under the storm";
+  EXPECT_GT(agg.backfill_bytes, 0u) << "the mark-out never drove backfill";
+  EXPECT_GT(agg.throttle_waits, 0u) << "the IO-impact budget never engaged";
+  EXPECT_GT(ttfr_episodes, 0u)
+      << "no run ever reached full redundancy again";
   EXPECT_GT(agg.completed_ok, agg.errored);
 }
 

@@ -264,6 +264,41 @@ TEST(GoldenRegression, BlockstoreOffIsByteIdentical) {
     EXPECT_EQ(fw.cluster().osd(static_cast<int>(i)).blockstore(), nullptr);
 }
 
+TEST(GoldenRegression, BackgroundOffIsByteIdentical) {
+  // FrameworkConfig::background defaults off, and off must mean inert: no
+  // scheduler constructed, no scrub timers armed, no background.* metrics
+  // registered, no station behavior change — the Fig. 7 cell reproduces
+  // the exact pre-background values. Any drift here means the disarmed
+  // two-class station or scheduler hooks cost time they should not.
+  sim::Simulator sim;
+  FrameworkConfig cfg;
+  cfg.variant = VariantKind::delibak;
+  cfg.pool_mode = PoolMode::replicated;
+  cfg.image_size = 128 * MiB;
+  ASSERT_FALSE(cfg.background.enabled) << "background must default off";
+  core::Framework fw(sim, cfg);
+  workload::FioEngine engine(fw);
+  FioJobSpec spec;
+  spec.rw = RwMode::rand_write;
+  spec.bs = 4 * KiB;
+  spec.iodepth = 32;
+  spec.runtime = ms(300);
+  spec.ramp = ms(40);
+  spec.seed = 11;
+  const workload::FioResult r = engine.run(spec);
+  EXPECT_EQ(r.ops, 8915u);
+  EXPECT_EQ(r.bytes, 36515840u);
+  EXPECT_EQ(fw.background(), nullptr);
+  EXPECT_EQ(fw.metrics().find_counter("background.scrub_bytes"), nullptr);
+  EXPECT_EQ(fw.metrics().find_counter("background.backfill_bytes"), nullptr);
+  for (std::size_t i = 0; i < fw.cluster().osd_count(); ++i) {
+    const auto& workers = fw.cluster().osd(static_cast<int>(i)).workers();
+    EXPECT_EQ(workers.background_queue_depth(), 0u);
+    EXPECT_EQ(workers.bg_busy_time(), 0);
+    EXPECT_EQ(workers.preemptions(), 0u);
+  }
+}
+
 // --- Table I / III / power ---------------------------------------------------
 
 TEST(PaperClaims, TableI_HwKernelsBeatSoftware) {

@@ -72,3 +72,14 @@ if [[ -x "${simspeed}" && -z "${DK_SKIP_SIMSPEED:-}" ]]; then
 else
   echo "skipping BENCH_simspeed.json" >&2
 fi
+
+# Rebuild-storm bench: deterministic (fixed seed, simulated time) but armed
+# (background recovery on), so it writes BENCH_rebuild_storm.json rather
+# than bench_output.txt — the background-off log stays byte-identical.
+# DK_SKIP_STORM=1 skips it (CI legs that only check the deterministic log).
+storm="${build_dir}/bench/storm_rebuild"
+if [[ -x "${storm}" && -z "${DK_SKIP_STORM:-}" ]]; then
+  "${storm}" "${repo_root}/BENCH_rebuild_storm.json"
+else
+  echo "skipping BENCH_rebuild_storm.json" >&2
+fi
